@@ -1,0 +1,94 @@
+"""E12 — Figures 11 & 12: cardinality estimation inside a conjunctive-query optimizer.
+
+For each planning policy (Exact oracle, CardNet-A, KDE, Mean) the harness
+reports total processing time, candidates examined, and planning precision
+(fraction of queries where the truly most selective predicate was chosen).
+
+Paper shape: Exact has the best precision and time; CardNet-A is close behind
+and clearly better than the naive Mean policy; estimation time is a small
+fraction of total processing time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import KernelDensityEstimator, MeanEstimator
+from repro.baselines.simple import ExactEstimator
+from repro.core import CardNetEstimator
+from repro.datasets.synthetic import Dataset
+from repro.optimizer import (
+    ConjunctiveQueryProcessor,
+    generate_conjunctive_queries,
+    run_conjunctive_workload,
+)
+from repro.selection import BallIndexEuclideanSelector
+from repro.workloads import build_workload
+
+
+def _attribute_dataset(relation, attribute: str) -> Dataset:
+    matrix = relation.attribute(attribute)
+    return Dataset(
+        name=f"{relation.name}-{attribute}",
+        records=matrix,
+        distance_name="euclidean",
+        theta_max=0.6,
+        cluster_labels=relation.cluster_labels,
+        extra={"dimension": matrix.shape[1], "normalized": True},
+    )
+
+
+@pytest.fixture(scope="module")
+def planners(relation):
+    """Per-attribute estimators for every planning policy."""
+    exact, cardnet, kde, mean = {}, {}, {}, {}
+    for attribute in relation.attribute_names:
+        matrix = relation.attribute(attribute)
+        exact[attribute] = ExactEstimator(BallIndexEuclideanSelector(matrix, num_pivots=12, seed=0))
+        kde[attribute] = KernelDensityEstimator(matrix, "euclidean", sample_size=80, seed=0)
+
+        dataset = _attribute_dataset(relation, attribute)
+        workload = build_workload(dataset, query_fraction=0.1, num_thresholds=6, seed=2)
+        model = CardNetEstimator.for_dataset(dataset, accelerated=True, epochs=40, vae_pretrain_epochs=5, seed=0)
+        model.fit(workload.train, workload.validation)
+        cardnet[attribute] = model
+
+        mean_estimator = MeanEstimator(theta_max=dataset.theta_max, num_buckets=16)
+        mean_estimator.fit(workload.train, workload.validation)
+        mean[attribute] = mean_estimator
+    return {"Exact": exact, "CardNet-A": cardnet, "KDE": kde, "Mean": mean}
+
+
+def test_figures11_12_conjunctive_optimizer(relation, planners, print_table, benchmark):
+    processor = ConjunctiveQueryProcessor(relation, num_pivots=12, seed=0)
+    queries = generate_conjunctive_queries(relation, num_queries=30, threshold_range=(0.2, 0.5), seed=5)
+
+    reports = {
+        policy: run_conjunctive_workload(processor, queries, estimators)
+        for policy, estimators in planners.items()
+    }
+    rows = [
+        [
+            policy,
+            f"{report.total_seconds:.3f}",
+            f"{report.total_estimation_seconds:.3f}",
+            str(report.total_candidates),
+            f"{report.planning_precision:.2f}",
+        ]
+        for policy, report in reports.items()
+    ]
+    print_table(
+        "Figures 11/12 — conjunctive query optimizer",
+        ["policy", "total s", "estimation s", "candidates", "precision"],
+        rows,
+    )
+
+    # Shape checks from the paper: the exact oracle has perfect precision, and
+    # cardinality-aware planning (CardNet-A) examines no more candidates than
+    # the query-independent Mean policy.
+    assert reports["Exact"].planning_precision == 1.0
+    assert reports["CardNet-A"].total_candidates <= reports["Mean"].total_candidates * 1.2
+    assert reports["CardNet-A"].planning_precision >= reports["Mean"].planning_precision - 0.35
+
+    benchmark(lambda: processor.execute(queries[0], planners["CardNet-A"]))

@@ -1,0 +1,88 @@
+"""E10 — Figure 9: accuracy on long-tail (large-cardinality) queries,
+and E15 — Figure 1: the cardinality distribution that motivates the paper.
+
+Paper shapes:
+* Figure 1(a): cardinality-vs-threshold curves are step-like (flat stretches
+  followed by surges); Figure 1(b): most queries have small cardinalities with
+  a heavy right tail.
+* Figure 9: errors grow with the cardinality for every method, and CardNet is
+  the most robust on the largest-cardinality groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import cardinality_range_groups, grouped_errors
+from repro.selection import default_selector
+from repro.workloads import label_queries
+
+
+def test_figure1_cardinality_distribution(hm_dataset, print_table, benchmark, rng):
+    selector = default_selector("hamming", hm_dataset.records)
+    thresholds = np.arange(0, int(hm_dataset.theta_max) + 1, 2, dtype=float)
+    query_ids = rng.choice(len(hm_dataset), size=5, replace=False)
+
+    rows = []
+    curves = []
+    for query_id in query_ids:
+        record = hm_dataset.records[int(query_id)]
+        curve = [selector.cardinality(record, theta) for theta in thresholds]
+        curves.append(curve)
+        rows.append([f"query {int(query_id)}"] + [str(v) for v in curve])
+    print_table(
+        "Figure 1(a) — cardinality vs threshold",
+        ["query"] + [f"θ={t:.0f}" for t in thresholds],
+        rows,
+    )
+
+    # Shape checks: curves are monotone and exhibit at least one surge
+    # (a step much larger than the median step), as in the paper's Fig. 1(a).
+    for curve in curves:
+        assert curve == sorted(curve)
+    steps = np.diff(np.asarray(curves), axis=1)
+    assert steps.max() >= 5 * max(np.median(steps), 1.0)
+
+    # Figure 1(b): long-tail histogram of cardinalities at a fixed threshold.
+    sample_ids = rng.choice(len(hm_dataset), size=100, replace=False)
+    cardinalities = np.asarray(
+        [selector.cardinality(hm_dataset.records[int(i)], hm_dataset.theta_max / 2) for i in sample_ids]
+    )
+    median = np.median(cardinalities)
+    maximum = cardinalities.max()
+    print(f"\nFigure 1(b) — cardinality median {median:.0f}, max {maximum:.0f}")
+    assert maximum > 2 * median  # heavy right tail
+
+    benchmark(lambda: selector.cardinality(hm_dataset.records[0], hm_dataset.theta_max))
+
+
+def test_figure9_longtail_queries(hm_estimators, hm_dataset, print_table, benchmark, rng):
+    selector = default_selector("hamming", hm_dataset.records)
+    # Label a batch of queries at the larger thresholds, where cardinalities spread out.
+    query_ids = rng.choice(len(hm_dataset), size=40, replace=False)
+    queries = [hm_dataset.records[int(i)] for i in query_ids]
+    thresholds = [hm_dataset.theta_max * 0.5, hm_dataset.theta_max * 0.75, hm_dataset.theta_max]
+    examples = label_queries(queries, thresholds, selector)
+    actual = np.asarray([e.cardinality for e in examples], dtype=np.float64)
+    boundaries = np.quantile(actual, [0.5, 0.8])
+    groups = cardinality_range_groups(actual, boundaries)
+
+    compared = ["DB-US", "TL-XGB", "DL-RMI", "CardNet-A"]
+    per_model = {
+        name: grouped_errors(actual, hm_estimators[name].estimate_many(examples), groups, metric="mse")
+        for name in compared
+    }
+    group_labels = sorted(set(groups))
+    rows = [
+        [label] + [f"{per_model[name].get(label, float('nan')):.0f}" for name in compared]
+        for label in group_labels
+    ]
+    print_table("Figure 9 — MSE per cardinality range", ["cardinality range"] + compared, rows)
+
+    # Shape check: the largest-cardinality group is not easier than the smallest
+    # one for CardNet-A (errors grow with cardinality in the paper; at this
+    # scale we allow a generous margin for training noise).
+    cardnet_errors = [per_model["CardNet-A"][label] for label in group_labels]
+    assert cardnet_errors[-1] >= cardnet_errors[0] * 0.3
+
+    benchmark(lambda: hm_estimators["CardNet-A"].estimate_many(examples[:40]))

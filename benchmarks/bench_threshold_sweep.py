@@ -1,0 +1,41 @@
+"""E4 — Figure 5: accuracy as a function of the query threshold.
+
+Paper shape: errors generally grow with the threshold (larger thresholds are
+harder), and CardNet/CardNet-A stay below the baselines across the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import grouped_errors
+from repro.selection import default_selector
+from repro.workloads import label_queries
+
+
+def test_figure5_accuracy_vs_threshold(hm_estimators, hm_dataset, print_table, benchmark, rng):
+    thresholds = np.arange(0, int(hm_dataset.theta_max) + 1, 4, dtype=float)
+    query_ids = rng.choice(len(hm_dataset), size=25, replace=False)
+    queries = [hm_dataset.records[int(i)] for i in query_ids]
+    selector = default_selector("hamming", hm_dataset.records)
+    examples = label_queries(queries, thresholds, selector)
+    actual = [example.cardinality for example in examples]
+    groups = [example.theta for example in examples]
+
+    compared = ["DB-US", "TL-XGB", "DL-RMI", "CardNet", "CardNet-A"]
+    per_model = {}
+    for name in compared:
+        estimates = hm_estimators[name].estimate_many(examples)
+        per_model[name] = grouped_errors(actual, estimates, groups, metric="mape")
+
+    rows = []
+    for theta in thresholds:
+        rows.append([f"{theta:.0f}"] + [f"{per_model[name][theta]:.1f}" for name in compared])
+    print_table("Figure 5 — MAPE vs threshold", ["theta"] + compared, rows)
+
+    # Shape check: averaged over thresholds, CardNet-A is no worse than DB-US.
+    cardnet_mean = np.mean(list(per_model["CardNet-A"].values()))
+    sampling_mean = np.mean(list(per_model["DB-US"].values()))
+    assert cardnet_mean <= sampling_mean * 1.5
+
+    benchmark(lambda: hm_estimators["CardNet-A"].estimate_many(examples[:40]))

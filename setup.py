@@ -1,0 +1,11 @@
+"""Setuptools shim enabling legacy editable installs in offline environments.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works on machines
+without the ``wheel`` package or network access (PEP 517 editable builds need
+``bdist_wheel``).
+"""
+
+from setuptools import setup
+
+setup()

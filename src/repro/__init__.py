@@ -1,0 +1,34 @@
+"""repro — reproduction of "Monotonic Cardinality Estimation of Similarity Selection:
+A Deep Learning Approach" (SIGMOD 2020).
+
+Public API highlights
+---------------------
+* :class:`repro.core.CardNetEstimator` — the CardNet / CardNet-A estimator.
+* :mod:`repro.datasets` — synthetic datasets standing in for the paper's corpora.
+* :mod:`repro.workloads` — query workload and label generation.
+* :mod:`repro.baselines` — every estimator the paper compares against.
+* :mod:`repro.optimizer` — the query-optimizer case studies (§9.11).
+"""
+
+from .core import CardinalityEstimator, CardNet, CardNetConfig, CardNetEstimator
+from .datasets import DEFAULT_DATASETS, load_dataset
+from .metrics import AccuracyReport, mape, mean_q_error, mse
+from .workloads import Workload, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CardNet",
+    "CardNetConfig",
+    "CardNetEstimator",
+    "CardinalityEstimator",
+    "load_dataset",
+    "DEFAULT_DATASETS",
+    "build_workload",
+    "Workload",
+    "AccuracyReport",
+    "mse",
+    "mape",
+    "mean_q_error",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Baseline estimators: every competitor from the paper's evaluation (§9.1.2)."""
+
+from .common import QueryFeaturizer
+from .db_specialized import (
+    HistogramHammingEstimator,
+    LSHSamplingEuclideanEstimator,
+    QGramInvertedIndexEstimator,
+    SketchJaccardEstimator,
+)
+from .dln import DeepLatticeNetworkEstimator, MonotoneCalibrator
+from .dnn import DNNEstimator, PerThresholdDNNEstimator, train_mlp_regressor
+from .factory import COMPARISON_NAMES, ESTIMATOR_NAMES, build_estimator, build_estimators
+from .gbt import GradientBoostedTreesEstimator, RegressionTree
+from .kde import KernelDensityEstimator
+from .moe import MixtureOfExpertsEstimator
+from .rmi import RecursiveModelIndexEstimator
+from .sampling import UniformSamplingEstimator
+from .simple import ExactEstimator, MeanEstimator
+
+__all__ = [
+    "QueryFeaturizer",
+    "HistogramHammingEstimator",
+    "QGramInvertedIndexEstimator",
+    "SketchJaccardEstimator",
+    "LSHSamplingEuclideanEstimator",
+    "UniformSamplingEstimator",
+    "KernelDensityEstimator",
+    "GradientBoostedTreesEstimator",
+    "RegressionTree",
+    "DNNEstimator",
+    "PerThresholdDNNEstimator",
+    "train_mlp_regressor",
+    "RecursiveModelIndexEstimator",
+    "MixtureOfExpertsEstimator",
+    "DeepLatticeNetworkEstimator",
+    "MonotoneCalibrator",
+    "MeanEstimator",
+    "ExactEstimator",
+    "ESTIMATOR_NAMES",
+    "COMPARISON_NAMES",
+    "build_estimator",
+    "build_estimators",
+]

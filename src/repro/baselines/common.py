@@ -1,0 +1,79 @@
+"""Shared helpers for baseline estimators.
+
+The learned baselines (TL-* and DL-*) consume a numeric feature vector per
+query plus the threshold.  Following the paper (§9.1.2), on Hamming and
+Euclidean data they are fed the *original* vectors, while on edit-distance and
+Jaccard data they are fed the same feature extraction as CardNet.
+:class:`QueryFeaturizer` encapsulates that choice behind a single interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.synthetic import Dataset
+from ..featurization import build_feature_extractor
+from ..featurization.base import FeatureExtractor
+from ..workloads.examples import QueryExample
+
+
+class QueryFeaturizer:
+    """Maps (record, θ) to the numeric inputs used by non-CardNet learned models."""
+
+    def __init__(
+        self,
+        record_to_vector: Callable[[Any], np.ndarray],
+        theta_max: float,
+        dimension: int,
+    ) -> None:
+        self.record_to_vector = record_to_vector
+        self.theta_max = float(theta_max)
+        self.dimension = int(dimension)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset: Dataset,
+        extractor: Optional[FeatureExtractor] = None,
+        seed: int = 0,
+    ) -> "QueryFeaturizer":
+        """Raw vectors for HM/EU data; CardNet's feature extraction for ED/JC."""
+        if dataset.distance_name in ("hamming", "euclidean"):
+            dimension = int(dataset.extra.get("dimension", len(dataset.records[0])))
+
+            def record_to_vector(record) -> np.ndarray:
+                return np.asarray(record, dtype=np.float64).reshape(-1)
+
+            return cls(record_to_vector, dataset.theta_max, dimension)
+        extractor = extractor or build_feature_extractor(dataset, seed=seed)
+        return cls(extractor.transform_record, dataset.theta_max, extractor.dimension)
+
+    # ------------------------------------------------------------------ #
+    # Featurization
+    # ------------------------------------------------------------------ #
+    def record_vector(self, record: Any) -> np.ndarray:
+        return np.asarray(self.record_to_vector(record), dtype=np.float64).reshape(-1)
+
+    def normalized_theta(self, theta: float) -> float:
+        if self.theta_max <= 0:
+            return 0.0
+        return float(np.clip(theta / self.theta_max, 0.0, 1.0))
+
+    def features(self, record: Any, theta: float) -> np.ndarray:
+        """Concatenated [record vector ; normalized threshold]."""
+        return np.concatenate([self.record_vector(record), [self.normalized_theta(theta)]])
+
+    def matrix(self, examples: Sequence[QueryExample]) -> np.ndarray:
+        return np.stack([self.features(example.record, example.theta) for example in examples])
+
+    def targets(self, examples: Sequence[QueryExample]) -> np.ndarray:
+        return np.asarray([example.cardinality for example in examples], dtype=np.float64)
+
+    @property
+    def input_dimension(self) -> int:
+        return self.dimension + 1

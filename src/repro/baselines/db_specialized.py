@@ -1,0 +1,250 @@
+"""DB-SE: specialized database estimators, one per distance function (paper §9.1.2).
+
+The paper's DB-SE row uses a different auxiliary-structure method per distance:
+a histogram for Hamming [63], an inverted index for edit distance [36], a
+semi-lattice for Jaccard [46], and LSH-based sampling for Euclidean [76].
+This module provides a faithful-in-spirit implementation of each:
+
+* :class:`HistogramHammingEstimator` — partitions the dimensions into groups,
+  keeps an exact pattern histogram per group, and combines the per-group
+  distance distributions under an independence assumption (convolution), the
+  classic multidimensional-histogram recipe.
+* :class:`QGramInvertedIndexEstimator` — estimates edit-distance selectivity
+  from the q-gram count filter evaluated on an inverted index (records whose
+  shared q-gram count passes the filter are counted, without verification).
+* :class:`SketchJaccardEstimator` — stores a minhash sketch per record (the
+  practical form of the semi-lattice / LSH size estimators for set similarity)
+  and counts records whose sketch-estimated distance is within the threshold.
+* :class:`LSHSamplingEuclideanEstimator` — p-stable LSH tables provide a
+  query-biased candidate sample whose exact distances are combined with a
+  uniform background sample, following the LSH-sampling local-density recipe.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from ..core.interface import CardinalityEstimator
+from ..distances.hamming import pack_bits, packed_hamming_distances
+from ..selection.edit_index import qgrams
+
+
+# --------------------------------------------------------------------------- #
+# Hamming: group histogram with convolution
+# --------------------------------------------------------------------------- #
+class HistogramHammingEstimator(CardinalityEstimator):
+    """Multidimensional histogram over dimension groups + convolution of distances."""
+
+    name = "DB-SE"
+    monotonic = True
+
+    def __init__(self, dataset_records: Sequence, group_size: int = 8) -> None:
+        matrix = np.asarray(dataset_records, dtype=np.uint8)
+        if matrix.ndim != 2:
+            matrix = np.stack([np.asarray(r, dtype=np.uint8) for r in dataset_records])
+        self._num_records = matrix.shape[0]
+        self._dimension = matrix.shape[1]
+        self.group_size = int(group_size)
+        self._groups: List[tuple[int, int]] = []
+        start = 0
+        while start < self._dimension:
+            stop = min(start + self.group_size, self._dimension)
+            self._groups.append((start, stop))
+            start = stop
+        # Pattern histogram per group: bytes(pattern) -> count.
+        self._histograms: List[Dict[bytes, int]] = []
+        for start, stop in self._groups:
+            histogram: Dict[bytes, int] = defaultdict(int)
+            for row in matrix:
+                histogram[row[start:stop].tobytes()] += 1
+            self._histograms.append(dict(histogram))
+
+    def _group_distance_distribution(self, query_part: np.ndarray, histogram: Dict[bytes, int]) -> np.ndarray:
+        """P[group Hamming distance = k] for k = 0..group width."""
+        width = query_part.shape[0]
+        distribution = np.zeros(width + 1)
+        for pattern_bytes, count in histogram.items():
+            pattern = np.frombuffer(pattern_bytes, dtype=np.uint8)
+            distance = int(np.count_nonzero(pattern != query_part))
+            distribution[distance] += count
+        return distribution / max(self._num_records, 1)
+
+    def estimate(self, record: Any, theta: float) -> float:
+        query = np.asarray(record, dtype=np.uint8).reshape(-1)
+        # Convolve per-group distance distributions (independence assumption).
+        total_distribution = np.array([1.0])
+        for (start, stop), histogram in zip(self._groups, self._histograms):
+            group_distribution = self._group_distance_distribution(query[start:stop], histogram)
+            total_distribution = np.convolve(total_distribution, group_distribution)
+        threshold = int(theta)
+        cumulative = total_distribution[: threshold + 1].sum()
+        return float(cumulative * self._num_records)
+
+    def size_in_bytes(self) -> int:
+        total = 0
+        for histogram in self._histograms:
+            for pattern in histogram:
+                total += len(pattern) + 8
+        return total
+
+
+# --------------------------------------------------------------------------- #
+# Edit distance: q-gram count-filter estimator on an inverted index
+# --------------------------------------------------------------------------- #
+class QGramInvertedIndexEstimator(CardinalityEstimator):
+    """Counts records passing the q-gram count filter (no verification)."""
+
+    name = "DB-SE"
+    monotonic = True
+
+    def __init__(self, dataset_records: Sequence[str], q: int = 2) -> None:
+        self.q = int(q)
+        self._records = [str(r) for r in dataset_records]
+        self._grams = [qgrams(record, self.q) for record in self._records]
+        self._lengths = np.asarray([len(record) for record in self._records])
+        self._inverted: Dict[str, List[int]] = defaultdict(list)
+        for record_id, grams in enumerate(self._grams):
+            for gram in grams:
+                self._inverted[gram].append(record_id)
+
+    def estimate(self, record: Any, theta: float) -> float:
+        threshold = int(theta)
+        query = str(record)
+        query_grams = qgrams(query, self.q)
+        query_length = len(query)
+
+        shared: Dict[int, int] = defaultdict(int)
+        for gram, multiplicity in query_grams.items():
+            for record_id in self._inverted.get(gram, ()):
+                shared[record_id] += min(multiplicity, self._grams[record_id][gram])
+
+        count = 0
+        for record_id, overlap in shared.items():
+            length = int(self._lengths[record_id])
+            if abs(length - query_length) > threshold:
+                continue
+            required = max(query_length, length) - self.q + 1 - self.q * threshold
+            if overlap >= required:
+                count += 1
+        if count == 0:
+            # The count filter is vacuous for very small strings/large thresholds;
+            # fall back to the length filter alone.
+            count = int(np.count_nonzero(np.abs(self._lengths - query_length) <= threshold))
+        return float(count)
+
+    def size_in_bytes(self) -> int:
+        return sum(len(gram) + 8 * len(ids) for gram, ids in self._inverted.items())
+
+
+# --------------------------------------------------------------------------- #
+# Jaccard: minhash sketch estimator
+# --------------------------------------------------------------------------- #
+class SketchJaccardEstimator(CardinalityEstimator):
+    """Per-record minhash sketches; count records with sketch-estimated J-distance <= θ."""
+
+    name = "DB-SE"
+    monotonic = True
+
+    def __init__(
+        self,
+        dataset_records: Sequence,
+        universe_size: int,
+        num_hashes: int = 24,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.universe_size = int(universe_size)
+        self.num_hashes = int(num_hashes)
+        self._permutations = np.stack(
+            [rng.permutation(self.universe_size) for _ in range(self.num_hashes)]
+        )
+        self._sketches = np.stack([self._sketch(record) for record in dataset_records])
+
+    def _sketch(self, record) -> np.ndarray:
+        elements = np.fromiter((int(e) % self.universe_size for e in record), dtype=np.int64)
+        if elements.size == 0:
+            return np.full(self.num_hashes, self.universe_size, dtype=np.int64)
+        return self._permutations[:, elements].min(axis=1)
+
+    def estimate(self, record: Any, theta: float) -> float:
+        query_sketch = self._sketch(record)
+        agreement = (self._sketches == query_sketch[None, :]).mean(axis=1)
+        estimated_distance = 1.0 - agreement
+        return float(np.count_nonzero(estimated_distance <= theta + 1e-12))
+
+    def size_in_bytes(self) -> int:
+        return int(self._sketches.nbytes)
+
+
+# --------------------------------------------------------------------------- #
+# Euclidean: LSH-sampling estimator
+# --------------------------------------------------------------------------- #
+class LSHSamplingEuclideanEstimator(CardinalityEstimator):
+    """LSH candidate counting plus a uniform background sample for the tail."""
+
+    name = "DB-SE"
+    monotonic = True
+
+    def __init__(
+        self,
+        dataset_records: Sequence,
+        num_tables: int = 6,
+        bucket_width: float = 0.5,
+        background_sample_ratio: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        matrix = np.asarray(dataset_records, dtype=np.float64)
+        if matrix.ndim != 2:
+            matrix = np.stack([np.asarray(r, dtype=np.float64) for r in dataset_records])
+        self._matrix = matrix
+        self._num_records, dimension = matrix.shape
+        rng = np.random.default_rng(seed)
+        self.bucket_width = float(bucket_width)
+        self._projections = rng.normal(0.0, 1.0, size=(num_tables, dimension))
+        self._offsets = rng.uniform(0.0, bucket_width, size=num_tables)
+        hashed = np.floor((matrix @ self._projections.T + self._offsets) / bucket_width).astype(np.int64)
+        self._tables: List[Dict[int, np.ndarray]] = []
+        for table_index in range(num_tables):
+            table: Dict[int, List[int]] = defaultdict(list)
+            for record_id, key in enumerate(hashed[:, table_index]):
+                table[int(key)].append(record_id)
+            self._tables.append({key: np.asarray(ids) for key, ids in table.items()})
+        sample_size = max(1, int(round(background_sample_ratio * self._num_records)))
+        self._background_ids = rng.choice(self._num_records, size=sample_size, replace=False)
+
+    def _candidates(self, query: np.ndarray) -> np.ndarray:
+        keys = np.floor((self._projections @ query + self._offsets) / self.bucket_width).astype(np.int64)
+        candidate_ids: set[int] = set()
+        for table, key in zip(self._tables, keys):
+            bucket = table.get(int(key))
+            if bucket is not None:
+                candidate_ids.update(int(i) for i in bucket)
+        return np.fromiter(candidate_ids, dtype=np.int64, count=len(candidate_ids))
+
+    def estimate(self, record: Any, theta: float) -> float:
+        query = np.asarray(record, dtype=np.float64).reshape(-1)
+        candidates = self._candidates(query)
+        candidate_count = 0
+        if candidates.size:
+            deltas = self._matrix[candidates] - query[None, :]
+            distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+            candidate_count = int(np.count_nonzero(distances <= theta + 1e-12))
+        # Estimate the matches the LSH tables missed from the background sample.
+        background = np.setdiff1d(self._background_ids, candidates, assume_unique=False)
+        missed_estimate = 0.0
+        if background.size:
+            deltas = self._matrix[background] - query[None, :]
+            distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+            fraction = np.count_nonzero(distances <= theta + 1e-12) / background.size
+            missed_estimate = fraction * max(self._num_records - candidates.size, 0)
+        return float(candidate_count + missed_estimate)
+
+    def size_in_bytes(self) -> int:
+        total = int(self._projections.nbytes + self._offsets.nbytes)
+        for table in self._tables:
+            for ids in table.values():
+                total += int(ids.nbytes) + 8
+        return total

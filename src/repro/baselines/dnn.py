@@ -1,0 +1,190 @@
+"""Vanilla deep-learning baselines: DL-DNN and DL-DNNsτ (paper §9.1.2).
+
+* ``DL-DNN`` — a single feedforward network fed with the concatenation of the
+  query's vector representation and the normalized threshold, trained to
+  predict ``log1p(cardinality)``.
+* ``DL-DNNsτ`` — a set of independently trained networks, one per threshold
+  range; the range of a query's threshold selects which network answers.
+
+Both are the "simply feed a deep neural network with training data" strawmen
+that CardNet's incremental prediction is compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..core.interface import CardinalityEstimator
+from ..nn import Tensor
+from ..workloads.examples import QueryExample
+from .common import QueryFeaturizer
+
+
+def train_mlp_regressor(
+    model: nn.Module,
+    features: np.ndarray,
+    log_targets: np.ndarray,
+    epochs: int = 30,
+    learning_rate: float = 1e-3,
+    batch_size: int = 64,
+    seed: int = 0,
+) -> List[float]:
+    """Train an MLP on log-space targets with Adam + MSE; returns per-epoch losses."""
+    rng = np.random.default_rng(seed)
+    optimizer = nn.Adam(model.parameters(), lr=learning_rate)
+    history: List[float] = []
+    num_rows = features.shape[0]
+    for _ in range(epochs):
+        order = rng.permutation(num_rows)
+        epoch_losses: List[float] = []
+        for start in range(0, num_rows, batch_size):
+            batch = order[start : start + batch_size]
+            optimizer.zero_grad()
+            predictions = model(Tensor(features[batch])).reshape(len(batch))
+            loss = nn.mse_loss(predictions, Tensor(log_targets[batch]))
+            loss.backward()
+            optimizer.clip_grad_norm(10.0)
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        history.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+    return history
+
+
+class DNNEstimator(CardinalityEstimator):
+    """DL-DNN: one FNN over [record vector ; normalized threshold]."""
+
+    name = "DL-DNN"
+    monotonic = False
+
+    def __init__(
+        self,
+        featurizer: QueryFeaturizer,
+        hidden_sizes: Sequence[int] = (128, 64, 64, 32),
+        epochs: int = 30,
+        learning_rate: float = 1e-3,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.featurizer = featurizer
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self.model = nn.mlp(
+            [featurizer.input_dimension, *hidden_sizes, 1],
+            activation=nn.ReLU,
+            rng=np.random.default_rng(seed),
+        )
+
+    def fit(
+        self, train: Sequence[QueryExample], validation: Sequence[QueryExample] = ()
+    ) -> "DNNEstimator":
+        examples = list(train)
+        features = self.featurizer.matrix(examples)
+        log_targets = np.log1p(self.featurizer.targets(examples))
+        train_mlp_regressor(
+            self.model,
+            features,
+            log_targets,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            seed=self.seed,
+        )
+        return self
+
+    def estimate(self, record: Any, theta: float) -> float:
+        features = self.featurizer.features(record, theta)[None, :]
+        prediction = self.model(Tensor(features)).data.reshape(-1)[0]
+        return float(max(np.expm1(prediction), 0.0))
+
+    def estimate_many(self, examples: Sequence[QueryExample]) -> np.ndarray:
+        if not examples:
+            return np.zeros(0)
+        features = self.featurizer.matrix(examples)
+        predictions = self.model(Tensor(features)).data.reshape(-1)
+        return np.maximum(np.expm1(predictions), 0.0)
+
+    def size_in_bytes(self) -> int:
+        return nn.serialized_size(self.model)
+
+
+class PerThresholdDNNEstimator(CardinalityEstimator):
+    """DL-DNNsτ: independently trained networks, one per threshold range."""
+
+    name = "DL-DNNst"
+    monotonic = False
+
+    def __init__(
+        self,
+        featurizer: QueryFeaturizer,
+        num_ranges: int = 8,
+        hidden_sizes: Sequence[int] = (128, 64, 64, 32),
+        epochs: int = 20,
+        learning_rate: float = 1e-3,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.featurizer = featurizer
+        self.num_ranges = int(num_ranges)
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self.models: List[Optional[nn.Module]] = [None] * self.num_ranges
+        self._fallback = 0.0
+
+    def _range_of(self, theta: float) -> int:
+        ratio = self.featurizer.normalized_theta(theta)
+        return min(self.num_ranges - 1, int(ratio * self.num_ranges))
+
+    def fit(
+        self, train: Sequence[QueryExample], validation: Sequence[QueryExample] = ()
+    ) -> "PerThresholdDNNEstimator":
+        examples = list(train)
+        self._fallback = float(np.log1p(self.featurizer.targets(examples)).mean()) if examples else 0.0
+        buckets: List[List[QueryExample]] = [[] for _ in range(self.num_ranges)]
+        for example in examples:
+            buckets[self._range_of(example.theta)].append(example)
+        for bucket_index, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            model = nn.mlp(
+                [self.featurizer.input_dimension, *self.hidden_sizes, 1],
+                activation=nn.ReLU,
+                rng=np.random.default_rng(self.seed + bucket_index),
+            )
+            features = self.featurizer.matrix(bucket)
+            log_targets = np.log1p(self.featurizer.targets(bucket))
+            train_mlp_regressor(
+                model,
+                features,
+                log_targets,
+                epochs=self.epochs,
+                learning_rate=self.learning_rate,
+                batch_size=self.batch_size,
+                seed=self.seed + bucket_index,
+            )
+            self.models[bucket_index] = model
+        return self
+
+    def estimate(self, record: Any, theta: float) -> float:
+        bucket = self._range_of(theta)
+        model = self.models[bucket]
+        if model is None:
+            # Use the nearest trained range below (then above) as a fallback.
+            trained = [i for i, m in enumerate(self.models) if m is not None]
+            if not trained:
+                return float(max(np.expm1(self._fallback), 0.0))
+            bucket = min(trained, key=lambda i: abs(i - bucket))
+            model = self.models[bucket]
+        features = self.featurizer.features(record, theta)[None, :]
+        prediction = model(Tensor(features)).data.reshape(-1)[0]
+        return float(max(np.expm1(prediction), 0.0))
+
+    def size_in_bytes(self) -> int:
+        return sum(nn.serialized_size(model) for model in self.models if model is not None)

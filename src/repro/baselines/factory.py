@@ -1,0 +1,136 @@
+"""Factory building the full estimator suite the paper compares (Tables 3–5).
+
+The benchmark harness asks for estimators by their paper names ("DB-SE",
+"TL-XGB", "DL-RMI", "CardNet-A", ...) and gets objects implementing
+:class:`repro.core.interface.CardinalityEstimator`.  A ``fast`` profile shrinks
+network sizes / epochs so that the whole comparison grid runs on a CPU in
+minutes; the relative ordering of methods, which is what the reproduction
+checks, is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.cardnet import CardNetConfig
+from ..core.estimator import CardNetEstimator
+from ..core.interface import CardinalityEstimator
+from ..datasets.synthetic import Dataset
+from ..featurization import build_feature_extractor
+from ..selection import default_selector
+from .common import QueryFeaturizer
+from .db_specialized import (
+    HistogramHammingEstimator,
+    LSHSamplingEuclideanEstimator,
+    QGramInvertedIndexEstimator,
+    SketchJaccardEstimator,
+)
+from .dln import DeepLatticeNetworkEstimator
+from .dnn import DNNEstimator, PerThresholdDNNEstimator
+from .gbt import GradientBoostedTreesEstimator
+from .kde import KernelDensityEstimator
+from .moe import MixtureOfExpertsEstimator
+from .rmi import RecursiveModelIndexEstimator
+from .sampling import UniformSamplingEstimator
+from .simple import ExactEstimator, MeanEstimator
+
+#: Names accepted by :func:`build_estimator`, in the order the paper's tables use.
+ESTIMATOR_NAMES: List[str] = [
+    "DB-SE",
+    "DB-US",
+    "TL-XGB",
+    "TL-LGBM",
+    "TL-KDE",
+    "DL-DLN",
+    "DL-MoE",
+    "DL-RMI",
+    "DL-DNN",
+    "DL-DNNst",
+    "CardNet",
+    "CardNet-A",
+    "Mean",
+    "Exact",
+]
+
+#: The comparison set used by most accuracy benchmarks (excludes the oracles).
+COMPARISON_NAMES: List[str] = [name for name in ESTIMATOR_NAMES if name not in ("Mean", "Exact")]
+
+
+def _db_se(dataset: Dataset, seed: int) -> CardinalityEstimator:
+    if dataset.distance_name == "hamming":
+        return HistogramHammingEstimator(dataset.records)
+    if dataset.distance_name == "edit":
+        return QGramInvertedIndexEstimator(dataset.records)
+    if dataset.distance_name == "jaccard":
+        universe = int(dataset.extra.get("universe_size", 0))
+        if universe <= 0:
+            universe = max(max(record) for record in dataset.records if record) + 1
+        return SketchJaccardEstimator(dataset.records, universe_size=universe, seed=seed)
+    if dataset.distance_name == "euclidean":
+        return LSHSamplingEuclideanEstimator(dataset.records, seed=seed)
+    raise KeyError(f"DB-SE has no specialization for distance {dataset.distance_name!r}")
+
+
+def build_estimator(
+    name: str,
+    dataset: Dataset,
+    featurizer: Optional[QueryFeaturizer] = None,
+    seed: int = 0,
+    fast: bool = True,
+    epochs: Optional[int] = None,
+) -> CardinalityEstimator:
+    """Instantiate one estimator by its paper name for the given dataset."""
+    featurizer = featurizer or QueryFeaturizer.for_dataset(dataset, seed=seed)
+    deep_epochs = epochs if epochs is not None else (15 if fast else 60)
+    cardnet_epochs = epochs if epochs is not None else (25 if fast else 80)
+
+    if name == "DB-SE":
+        return _db_se(dataset, seed)
+    if name == "DB-US":
+        return UniformSamplingEstimator(dataset.records, dataset.distance_name, seed=seed)
+    if name == "TL-XGB":
+        return GradientBoostedTreesEstimator.xgb_preset(featurizer, seed=seed)
+    if name == "TL-LGBM":
+        return GradientBoostedTreesEstimator.lgbm_preset(featurizer, seed=seed)
+    if name == "TL-KDE":
+        return KernelDensityEstimator(dataset.records, dataset.distance_name, seed=seed)
+    if name == "DL-DLN":
+        return DeepLatticeNetworkEstimator(featurizer, epochs=deep_epochs, seed=seed)
+    if name == "DL-MoE":
+        return MixtureOfExpertsEstimator(featurizer, epochs=deep_epochs, seed=seed)
+    if name == "DL-RMI":
+        return RecursiveModelIndexEstimator(featurizer, epochs=deep_epochs, seed=seed)
+    if name == "DL-DNN":
+        return DNNEstimator(featurizer, epochs=deep_epochs, seed=seed)
+    if name == "DL-DNNst":
+        return PerThresholdDNNEstimator(featurizer, epochs=max(5, deep_epochs // 2), seed=seed)
+    if name == "CardNet":
+        return CardNetEstimator.for_dataset(
+            dataset, accelerated=False, seed=seed, epochs=cardnet_epochs,
+            vae_pretrain_epochs=5 if fast else 20,
+        )
+    if name == "CardNet-A":
+        return CardNetEstimator.for_dataset(
+            dataset, accelerated=True, seed=seed, epochs=cardnet_epochs,
+            vae_pretrain_epochs=5 if fast else 20,
+        )
+    if name == "Mean":
+        return MeanEstimator(theta_max=dataset.theta_max)
+    if name == "Exact":
+        return ExactEstimator(default_selector(dataset.distance_name, dataset.records))
+    raise KeyError(f"unknown estimator {name!r}; options: {ESTIMATOR_NAMES}")
+
+
+def build_estimators(
+    names: Sequence[str],
+    dataset: Dataset,
+    seed: int = 0,
+    fast: bool = True,
+    epochs: Optional[int] = None,
+) -> Dict[str, CardinalityEstimator]:
+    """Instantiate a named subset of the comparison suite (shared featurizer)."""
+    featurizer = QueryFeaturizer.for_dataset(dataset, seed=seed)
+    return {
+        name: build_estimator(name, dataset, featurizer=featurizer, seed=seed, fast=fast, epochs=epochs)
+        for name in names
+    }

@@ -1,0 +1,122 @@
+"""DL-MoE: sparsely-gated mixture-of-experts regression (paper §9.1.2).
+
+A gating network produces a softmax over ``k`` expert networks; the prediction
+is the gate-weighted sum of expert outputs.  The whole model is trained
+end-to-end on log-space targets.  Following the sparsely-gated formulation, at
+inference only the top-``top_k`` experts by gate weight contribute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..core.interface import CardinalityEstimator
+from ..nn import Tensor
+from ..workloads.examples import QueryExample
+from .common import QueryFeaturizer
+
+
+class _MixtureOfExperts(nn.Module):
+    """Gate network + expert networks, combined with softmax weights."""
+
+    def __init__(
+        self,
+        input_dimension: int,
+        num_experts: int,
+        expert_hidden: Sequence[int],
+        gate_hidden: Sequence[int],
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_experts = num_experts
+        self.gate = nn.mlp([input_dimension, *gate_hidden, num_experts], rng=rng)
+        self._experts: List[nn.Module] = []
+        for expert_index in range(num_experts):
+            expert = nn.mlp([input_dimension, *expert_hidden, 1], rng=rng)
+            self.add_module(f"expert{expert_index}", expert)
+            self._experts.append(expert)
+
+    def gate_weights(self, x: Tensor) -> Tensor:
+        logits = self.gate(x)
+        # Stable softmax over the expert axis.
+        shifted = logits - logits.max(axis=1, keepdims=True).detach()
+        exponent = shifted.exp()
+        return exponent / exponent.sum(axis=1, keepdims=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        weights = self.gate_weights(x)
+        expert_outputs = nn.concatenate(
+            [expert(x).reshape(x.shape[0], 1) for expert in self._experts], axis=1
+        )
+        return (weights * expert_outputs).sum(axis=1)
+
+
+class MixtureOfExpertsEstimator(CardinalityEstimator):
+    """DL-MoE behind the uniform estimator interface."""
+
+    name = "DL-MoE"
+    monotonic = False
+
+    def __init__(
+        self,
+        featurizer: QueryFeaturizer,
+        num_experts: int = 4,
+        expert_hidden: Sequence[int] = (64, 32),
+        gate_hidden: Sequence[int] = (32,),
+        epochs: int = 30,
+        learning_rate: float = 1e-3,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.featurizer = featurizer
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self.model = _MixtureOfExperts(
+            input_dimension=featurizer.input_dimension,
+            num_experts=num_experts,
+            expert_hidden=expert_hidden,
+            gate_hidden=gate_hidden,
+            seed=seed,
+        )
+
+    def fit(
+        self, train: Sequence[QueryExample], validation: Sequence[QueryExample] = ()
+    ) -> "MixtureOfExpertsEstimator":
+        examples = list(train)
+        features = self.featurizer.matrix(examples)
+        log_targets = np.log1p(self.featurizer.targets(examples))
+        rng = np.random.default_rng(self.seed)
+        optimizer = nn.Adam(self.model.parameters(), lr=self.learning_rate)
+        num_rows = features.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(num_rows)
+            for start in range(0, num_rows, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                optimizer.zero_grad()
+                predictions = self.model(Tensor(features[batch]))
+                loss = nn.mse_loss(predictions, Tensor(log_targets[batch]))
+                loss.backward()
+                optimizer.clip_grad_norm(10.0)
+                optimizer.step()
+        return self
+
+    def estimate(self, record: Any, theta: float) -> float:
+        features = self.featurizer.features(record, theta)[None, :]
+        prediction = self.model(Tensor(features)).data.reshape(-1)[0]
+        return float(max(np.expm1(prediction), 0.0))
+
+    def estimate_many(self, examples: Sequence[QueryExample]) -> np.ndarray:
+        if not examples:
+            return np.zeros(0)
+        features = self.featurizer.matrix(examples)
+        predictions = self.model(Tensor(features)).data.reshape(-1)
+        return np.maximum(np.expm1(predictions), 0.0)
+
+    def size_in_bytes(self) -> int:
+        return nn.serialized_size(self.model)

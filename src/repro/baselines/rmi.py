@@ -1,0 +1,125 @@
+"""DL-RMI: recursive-model-index style two-stage regression (paper §9.1.2).
+
+Following Kraska et al.'s recursive model index adapted to cardinality
+estimation: a stage-1 network predicts the (log) cardinality and its prediction
+routes the query to one of ``k`` stage-2 expert networks, each specialized on a
+band of the output space.  Experts are trained independently on the examples
+routed to them by the trained stage-1 model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..core.interface import CardinalityEstimator
+from ..nn import Tensor
+from ..workloads.examples import QueryExample
+from .common import QueryFeaturizer
+from .dnn import train_mlp_regressor
+
+
+class RecursiveModelIndexEstimator(CardinalityEstimator):
+    """Two-stage learned index over the cardinality space."""
+
+    name = "DL-RMI"
+    monotonic = False
+
+    def __init__(
+        self,
+        featurizer: QueryFeaturizer,
+        num_experts: int = 4,
+        stage1_hidden: Sequence[int] = (64, 32),
+        stage2_hidden: Sequence[int] = (64, 32),
+        epochs: int = 25,
+        learning_rate: float = 1e-3,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.featurizer = featurizer
+        self.num_experts = int(num_experts)
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.stage1 = nn.mlp([featurizer.input_dimension, *stage1_hidden, 1], rng=rng)
+        self.stage2_hidden = tuple(stage2_hidden)
+        self.experts: List[Optional[nn.Module]] = [None] * self.num_experts
+        self._boundaries = np.linspace(0.0, 1.0, self.num_experts + 1)[1:-1]
+        self._log_range = (0.0, 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _route(self, stage1_log_prediction: float) -> int:
+        low, high = self._log_range
+        if high <= low:
+            return 0
+        position = (stage1_log_prediction - low) / (high - low)
+        return int(np.clip(np.searchsorted(self._boundaries, position), 0, self.num_experts - 1))
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(
+        self, train: Sequence[QueryExample], validation: Sequence[QueryExample] = ()
+    ) -> "RecursiveModelIndexEstimator":
+        examples = list(train)
+        features = self.featurizer.matrix(examples)
+        log_targets = np.log1p(self.featurizer.targets(examples))
+        self._log_range = (float(log_targets.min()), float(log_targets.max()))
+
+        train_mlp_regressor(
+            self.stage1,
+            features,
+            log_targets,
+            epochs=self.epochs,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            seed=self.seed,
+        )
+
+        stage1_predictions = self.stage1(Tensor(features)).data.reshape(-1)
+        assignments = np.asarray([self._route(p) for p in stage1_predictions])
+        for expert_index in range(self.num_experts):
+            member_ids = np.nonzero(assignments == expert_index)[0]
+            if member_ids.size == 0:
+                continue
+            expert = nn.mlp(
+                [self.featurizer.input_dimension, *self.stage2_hidden, 1],
+                rng=np.random.default_rng(self.seed + 1 + expert_index),
+            )
+            train_mlp_regressor(
+                expert,
+                features[member_ids],
+                log_targets[member_ids],
+                epochs=self.epochs,
+                learning_rate=self.learning_rate,
+                batch_size=self.batch_size,
+                seed=self.seed + 1 + expert_index,
+            )
+            self.experts[expert_index] = expert
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def estimate(self, record: Any, theta: float) -> float:
+        features = self.featurizer.features(record, theta)[None, :]
+        stage1_prediction = float(self.stage1(Tensor(features)).data.reshape(-1)[0])
+        expert = self.experts[self._route(stage1_prediction)]
+        if expert is None:
+            prediction = stage1_prediction
+        else:
+            prediction = float(expert(Tensor(features)).data.reshape(-1)[0])
+        return float(max(np.expm1(prediction), 0.0))
+
+    def size_in_bytes(self) -> int:
+        total = nn.serialized_size(self.stage1)
+        for expert in self.experts:
+            if expert is not None:
+                total += nn.serialized_size(expert)
+        return total

@@ -1,0 +1,83 @@
+"""Trivial estimators: the Mean baseline and the Exact oracle (paper §9.11).
+
+* ``Mean`` returns the same cardinality for a given threshold regardless of the
+  query — the average over offline random queries (quantized thresholds).
+* ``Exact`` runs an exact similarity selection and returns the true value; in
+  the paper it is the "oracle that instantly returns the exact cardinality"
+  used as the upper bound for the query-optimizer case studies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+import numpy as np
+
+from ..core.interface import CardinalityEstimator
+from ..selection import SimilaritySelector
+from ..workloads.examples import QueryExample
+
+
+class MeanEstimator(CardinalityEstimator):
+    """Returns the per-threshold-bucket mean cardinality seen during fitting."""
+
+    name = "Mean"
+    monotonic = True
+
+    def __init__(self, theta_max: float, num_buckets: int = 64) -> None:
+        self.theta_max = float(theta_max)
+        self.num_buckets = int(num_buckets)
+        self._bucket_means: Dict[int, float] = {}
+        self._global_mean = 0.0
+
+    def _bucket(self, theta: float) -> int:
+        if self.theta_max <= 0:
+            return 0
+        ratio = float(np.clip(theta / self.theta_max, 0.0, 1.0))
+        return int(round(ratio * (self.num_buckets - 1)))
+
+    def fit(
+        self, train: Sequence[QueryExample], validation: Sequence[QueryExample] = ()
+    ) -> "MeanEstimator":
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        cardinalities = []
+        for example in list(train) + list(validation):
+            bucket = self._bucket(example.theta)
+            sums[bucket] = sums.get(bucket, 0.0) + example.cardinality
+            counts[bucket] = counts.get(bucket, 0) + 1
+            cardinalities.append(example.cardinality)
+        self._bucket_means = {bucket: sums[bucket] / counts[bucket] for bucket in sums}
+        self._global_mean = float(np.mean(cardinalities)) if cardinalities else 0.0
+        # Enforce monotonicity over buckets with a running maximum: the true
+        # mean cardinality is non-decreasing in the threshold, but sampling
+        # noise across buckets could break that.
+        running = 0.0
+        for bucket in range(self.num_buckets):
+            if bucket in self._bucket_means:
+                running = max(running, self._bucket_means[bucket])
+                self._bucket_means[bucket] = running
+        return self
+
+    def estimate(self, record: Any, theta: float) -> float:
+        bucket = self._bucket(theta)
+        if bucket in self._bucket_means:
+            return self._bucket_means[bucket]
+        # Fall back to the nearest known bucket at or below, then the global mean.
+        known = [b for b in self._bucket_means if b <= bucket]
+        if known:
+            return self._bucket_means[max(known)]
+        return self._global_mean
+
+
+class ExactEstimator(CardinalityEstimator):
+    """Oracle wrapping an exact similarity selector (always correct, never fast)."""
+
+    name = "Exact"
+    monotonic = True
+
+    def __init__(self, selector: SimilaritySelector) -> None:
+        self.selector = selector
+
+    def estimate(self, record: Any, theta: float) -> float:
+        return float(self.selector.cardinality(record, theta))

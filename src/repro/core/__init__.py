@@ -1,0 +1,40 @@
+"""CardNet: the paper's primary contribution (models, training, incremental learning)."""
+
+from .cardnet import CardNet, CardNetConfig
+from .decoders import PerDistanceDecoders
+from .encoder import AcceleratedEncoder, DistanceEmbedding, SharedEncoder
+from .estimator import CardNetEstimator
+from .incremental import IncrementalUpdateManager, UpdateStepReport
+from .interface import CardinalityEstimator
+from .loss import DynamicLossWeights, empirical_tau_distribution, weighted_msle
+from .training import (
+    CardNetTrainer,
+    FeaturizedSplit,
+    RegressionRow,
+    TrainingResult,
+    featurize_examples,
+)
+from .vae import VariationalAutoEncoder, pretrain_vae
+
+__all__ = [
+    "CardNet",
+    "CardNetConfig",
+    "CardNetEstimator",
+    "CardinalityEstimator",
+    "CardNetTrainer",
+    "TrainingResult",
+    "FeaturizedSplit",
+    "RegressionRow",
+    "featurize_examples",
+    "VariationalAutoEncoder",
+    "pretrain_vae",
+    "DistanceEmbedding",
+    "SharedEncoder",
+    "AcceleratedEncoder",
+    "PerDistanceDecoders",
+    "DynamicLossWeights",
+    "weighted_msle",
+    "empirical_tau_distribution",
+    "IncrementalUpdateManager",
+    "UpdateStepReport",
+]

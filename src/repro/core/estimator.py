@@ -1,0 +1,136 @@
+"""High-level CardNet estimator: feature extraction + regression + training glue.
+
+This is the library's primary public entry point.  Given a dataset it builds
+the appropriate feature extraction (paper §4 case study), constructs the
+CardNet or CardNet-A regression model (§5/§7), and trains it with the dynamic
+strategy (§6).  After fitting, :meth:`estimate` answers queries in original
+(record, θ) space, with monotonicity in θ guaranteed by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.synthetic import Dataset
+from ..featurization import build_feature_extractor
+from ..featurization.base import FeatureExtractor
+from ..nn import serialized_size
+from ..workloads.examples import QueryExample
+from .cardnet import CardNet, CardNetConfig
+from .interface import CardinalityEstimator
+from .training import CardNetTrainer, TrainingResult
+
+
+class CardNetEstimator(CardinalityEstimator):
+    """CardNet (or CardNet-A when ``accelerated=True``) behind the uniform API."""
+
+    monotonic = True
+
+    def __init__(
+        self,
+        extractor: FeatureExtractor,
+        config: Optional[CardNetConfig] = None,
+        accelerated: bool = False,
+        epochs: int = 30,
+        vae_pretrain_epochs: int = 10,
+        learning_rate: float = 1e-3,
+        batch_size: int = 64,
+        patience: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.extractor = extractor
+        config = config or CardNetConfig(tau_max=extractor.tau_max)
+        config.tau_max = extractor.tau_max
+        config.accelerated = accelerated
+        config.seed = seed
+        self.config = config
+        self.model = CardNet(input_dimension=extractor.dimension, config=config)
+        self.trainer = CardNetTrainer(
+            self.model,
+            extractor,
+            learning_rate=learning_rate,
+            batch_size=batch_size,
+            vae_pretrain_epochs=vae_pretrain_epochs,
+            seed=seed,
+        )
+        self.epochs = epochs
+        self.patience = patience
+        self.name = "CardNet-A" if accelerated else "CardNet"
+        self.last_training_result: Optional[TrainingResult] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset: Dataset,
+        accelerated: bool = False,
+        tau_max: Optional[int] = None,
+        config: Optional[CardNetConfig] = None,
+        seed: int = 0,
+        **training_options,
+    ) -> "CardNetEstimator":
+        """Build an estimator whose featurization matches the dataset's distance."""
+        extractor = build_feature_extractor(dataset, tau_max=tau_max, seed=seed)
+        return cls(extractor, config=config, accelerated=accelerated, seed=seed, **training_options)
+
+    # ------------------------------------------------------------------ #
+    # Training / estimation
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        train: Sequence[QueryExample],
+        validation: Sequence[QueryExample] = (),
+    ) -> "CardNetEstimator":
+        self.last_training_result = self.trainer.fit(
+            train, validation, epochs=self.epochs, patience=self.patience
+        )
+        return self
+
+    def incremental_fit(
+        self,
+        train: Sequence[QueryExample],
+        validation: Sequence[QueryExample] = (),
+        max_epochs: int = 20,
+    ) -> TrainingResult:
+        """Incremental learning after dataset updates (paper §8)."""
+        result = self.trainer.incremental_fit(train, validation, max_epochs=max_epochs)
+        self.last_training_result = result
+        return result
+
+    def estimate(self, record: Any, theta: float) -> float:
+        features = self.extractor.transform_record(record)[None, :]
+        tau = self.extractor.transform_threshold(theta)
+        value = self.model.estimate(features, np.asarray([tau]))[0]
+        return float(value)
+
+    def estimate_many(self, examples: Sequence[QueryExample]) -> np.ndarray:
+        if not examples:
+            return np.zeros(0)
+        features = self.extractor.transform_records([example.record for example in examples])
+        taus = np.asarray(
+            [self.extractor.transform_threshold(example.theta) for example in examples],
+            dtype=np.int64,
+        )
+        return self.model.estimate(features, taus)
+
+    def estimate_curve(self, record: Any) -> np.ndarray:
+        """Monotone estimates for every τ = 0..τ_max (one call, used by GPH)."""
+        features = self.extractor.transform_record(record)[None, :]
+        return self.model.estimate_curve(features)[0]
+
+    def validation_msle(self, examples: Sequence[QueryExample]) -> float:
+        """MSLE of the current model on labelled examples (update monitoring, §8)."""
+        from ..metrics import msle
+
+        if not examples:
+            return 0.0
+        estimates = self.estimate_many(examples)
+        actual = np.asarray([example.cardinality for example in examples], dtype=np.float64)
+        return msle(actual, estimates)
+
+    def size_in_bytes(self) -> int:
+        return serialized_size(self.model)

@@ -1,0 +1,100 @@
+"""Handling dataset updates with incremental learning (paper §8).
+
+Workflow reproduced from the paper:
+
+1. after a batch of updates, the *validation* labels are refreshed by running
+   the exact selection algorithm on the updated dataset;
+2. the model's validation error (MSLE) is monitored — if it did not increase,
+   nothing else happens;
+3. if it increased, the *training* labels are refreshed too and the model is
+   trained further from its current parameters (never from scratch) on the
+   full training data until the validation error is stable for three
+   consecutive epochs.  Queries are kept fixed; only labels change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..datasets.updates import UpdateOperation, apply_operation
+from ..selection import SimilaritySelector
+from ..workloads.builder import relabel
+from ..workloads.examples import QueryExample
+from .estimator import CardNetEstimator
+
+
+@dataclass
+class UpdateStepReport:
+    """Outcome of processing one update operation."""
+
+    operation_index: int
+    dataset_size: int
+    validation_msle_before: float
+    validation_msle_after: float
+    retrained: bool
+    epochs_run: int
+
+
+class IncrementalUpdateManager:
+    """Applies update operations to the dataset and keeps a CardNet estimator fresh."""
+
+    def __init__(
+        self,
+        estimator: CardNetEstimator,
+        selector: SimilaritySelector,
+        train_examples: Sequence[QueryExample],
+        validation_examples: Sequence[QueryExample],
+        error_tolerance: float = 1e-3,
+        max_epochs_per_update: int = 10,
+    ) -> None:
+        self.estimator = estimator
+        self.selector = selector
+        self.train_examples: List[QueryExample] = list(train_examples)
+        self.validation_examples: List[QueryExample] = list(validation_examples)
+        self.records = list(selector.dataset)
+        self.error_tolerance = error_tolerance
+        self.max_epochs_per_update = max_epochs_per_update
+        self._baseline_validation_error: Optional[float] = None
+
+    def process(self, operation: UpdateOperation, operation_index: int = 0) -> UpdateStepReport:
+        """Apply one update operation and retrain incrementally if needed."""
+        self.records = apply_operation(self.records, operation)
+        self.selector = self.selector.rebuild(self.records)
+
+        # Step 1: refresh validation labels and measure the error.
+        self.validation_examples = relabel(self.validation_examples, self.selector)
+        error_before = self.estimator.validation_msle(self.validation_examples)
+        if self._baseline_validation_error is None:
+            self._baseline_validation_error = error_before
+
+        retrained = False
+        epochs_run = 0
+        error_after = error_before
+        if error_before > self._baseline_validation_error + self.error_tolerance:
+            # Step 2: refresh training labels and continue training in place.
+            self.train_examples = relabel(self.train_examples, self.selector)
+            result = self.estimator.incremental_fit(
+                self.train_examples,
+                self.validation_examples,
+                max_epochs=self.max_epochs_per_update,
+            )
+            retrained = True
+            epochs_run = result.epochs_run
+            error_after = self.estimator.validation_msle(self.validation_examples)
+            self._baseline_validation_error = error_after
+        else:
+            self._baseline_validation_error = min(self._baseline_validation_error, error_before)
+
+        return UpdateStepReport(
+            operation_index=operation_index,
+            dataset_size=len(self.records),
+            validation_msle_before=error_before,
+            validation_msle_after=error_after,
+            retrained=retrained,
+            epochs_run=epochs_run,
+        )
+
+    def process_stream(self, operations: Sequence[UpdateOperation]) -> List[UpdateStepReport]:
+        """Process a whole update stream, returning one report per operation."""
+        return [self.process(operation, index) for index, operation in enumerate(operations)]

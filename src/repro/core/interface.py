@@ -1,0 +1,56 @@
+"""Common interface implemented by every cardinality estimator in the library.
+
+CardNet, CardNet-A, and all baselines (database, traditional-learning, and
+deep-learning methods) expose the same two operations so the benchmark harness
+can treat them uniformly:
+
+* ``fit(train, validation)`` — learn from labelled query examples (no-op for
+  estimators that only need the dataset, e.g. sampling or histograms);
+* ``estimate(record, theta)`` — return the estimated cardinality of the
+  similarity selection for one query.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..workloads.examples import QueryExample
+
+
+class CardinalityEstimator(ABC):
+    """Uniform estimator interface used by the benchmark harness."""
+
+    #: Identifier shown in benchmark tables (e.g. ``"CardNet"``, ``"DB-US"``).
+    name: str = "abstract"
+
+    #: Whether the estimator guarantees monotone estimates in the threshold.
+    monotonic: bool = False
+
+    def fit(
+        self,
+        train: Sequence[QueryExample],
+        validation: Sequence[QueryExample] = (),
+    ) -> "CardinalityEstimator":
+        """Train on labelled examples.  Default: nothing to learn."""
+        return self
+
+    @abstractmethod
+    def estimate(self, record: Any, theta: float) -> float:
+        """Estimated cardinality for one (query record, threshold) pair."""
+
+    def estimate_many(self, examples: Sequence[QueryExample]) -> np.ndarray:
+        """Vector of estimates for a list of labelled examples (labels ignored)."""
+        return np.asarray(
+            [self.estimate(example.record, example.theta) for example in examples],
+            dtype=np.float64,
+        )
+
+    def size_in_bytes(self) -> int:
+        """Serialized model size; 0 for estimators with no persistent state."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,399 @@
+"""Training pipeline for CardNet: data preparation, joint loss, dynamic training.
+
+The pipeline follows paper §6:
+
+1. the workload's queries are featurized once (binary vectors + integer τ);
+2. per-query *cumulative* cardinality curves over τ are assembled from the
+   labelled thresholds, and consecutive points define the *incremental*
+   (per-distance-segment) targets used by the dynamic loss term;
+3. the VAE is pre-trained unsupervised, then the whole model is trained on the
+   joint objective of Eq. 2/3 with per-distance weights updated after every
+   validation pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..featurization.base import FeatureExtractor
+from ..metrics import msle
+from ..nn import Tensor
+from ..workloads.examples import QueryExample
+from .cardnet import CardNet
+from .loss import DynamicLossWeights, empirical_tau_distribution, weighted_msle
+
+
+@dataclass
+class RegressionRow:
+    """One flattened training row in the Hamming-space interface.
+
+    ``segment_low`` is the previous labelled τ for the same query (or -1), so
+    the segment target is the cardinality increment over ``(segment_low, tau]``
+    — exactly what the per-distance decoders in that range must add up to.
+    """
+
+    query_index: int
+    tau: int
+    cumulative: float
+    segment_low: int
+    segment_target: float
+
+
+@dataclass
+class FeaturizedSplit:
+    """A featurized workload split: unique query features + flattened rows."""
+
+    features: np.ndarray                      # (num_queries, d)
+    rows: List[RegressionRow] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def row_features(self, rows: Sequence[RegressionRow]) -> np.ndarray:
+        return self.features[[row.query_index for row in rows]]
+
+    def taus(self) -> np.ndarray:
+        return np.asarray([row.tau for row in self.rows], dtype=np.int64)
+
+    def cumulative_targets(self) -> np.ndarray:
+        return np.asarray([row.cumulative for row in self.rows], dtype=np.float64)
+
+
+def featurize_examples(
+    examples: Sequence[QueryExample], extractor: FeatureExtractor
+) -> FeaturizedSplit:
+    """Group examples by query record, featurize once, and emit flattened rows."""
+    # Group by query identity.  Records may be unhashable (numpy arrays), so a
+    # canonical key is derived per data type.
+    def record_key(record) -> object:
+        if isinstance(record, np.ndarray):
+            return record.tobytes()
+        if isinstance(record, (set, frozenset)):
+            return frozenset(record)
+        return record
+
+    grouped: Dict[object, Tuple[object, List[QueryExample]]] = {}
+    for example in examples:
+        key = record_key(example.record)
+        if key not in grouped:
+            grouped[key] = (example.record, [])
+        grouped[key][1].append(example)
+
+    records = [entry[0] for entry in grouped.values()]
+    if records:
+        features = extractor.transform_records(records)
+    else:
+        features = np.zeros((0, extractor.dimension))
+
+    split = FeaturizedSplit(features=features)
+    for query_index, (_, group) in enumerate(grouped.values()):
+        # Cumulative cardinality per transformed threshold (max over aliased θ).
+        by_tau: Dict[int, float] = {}
+        for example in group:
+            tau = extractor.transform_threshold(example.theta)
+            by_tau[tau] = max(by_tau.get(tau, 0.0), float(example.cardinality))
+        previous_tau = -1
+        previous_cumulative = 0.0
+        for tau in sorted(by_tau):
+            cumulative = by_tau[tau]
+            split.rows.append(
+                RegressionRow(
+                    query_index=query_index,
+                    tau=tau,
+                    cumulative=cumulative,
+                    segment_low=previous_tau,
+                    segment_target=max(cumulative - previous_cumulative, 0.0),
+                )
+            )
+            previous_tau = tau
+            previous_cumulative = cumulative
+    return split
+
+
+def _segment_mask(rows: Sequence[RegressionRow], tau_max: int) -> np.ndarray:
+    """Mask selecting the decoders in (segment_low, tau] for each row."""
+    mask = np.zeros((len(rows), tau_max + 1))
+    for index, row in enumerate(rows):
+        mask[index, row.segment_low + 1 : row.tau + 1] = 1.0
+    return mask
+
+
+def _cumulative_mask(rows: Sequence[RegressionRow], tau_max: int) -> np.ndarray:
+    """Mask selecting the decoders in [0, tau] for each row."""
+    mask = np.zeros((len(rows), tau_max + 1))
+    for index, row in enumerate(rows):
+        mask[index, : row.tau + 1] = 1.0
+    return mask
+
+
+@dataclass
+class TrainingResult:
+    """Summary of a training run (history + timing), used by benchmarks."""
+
+    epochs_run: int
+    train_losses: List[float]
+    validation_losses: List[float]
+    per_distance_validation_losses: List[np.ndarray]
+    training_seconds: float
+    vae_pretrain_losses: List[float] = field(default_factory=list)
+
+
+class CardNetTrainer:
+    """Trains a :class:`CardNet` on a featurized workload with dynamic loss weights."""
+
+    def __init__(
+        self,
+        model: CardNet,
+        extractor: FeatureExtractor,
+        learning_rate: float = 1e-3,
+        batch_size: int = 64,
+        vae_pretrain_epochs: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.extractor = extractor
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.vae_pretrain_epochs = vae_pretrain_epochs
+        self.seed = seed
+        self.dynamic_weights = DynamicLossWeights(model.tau_max)
+        self._optimizer: Optional[nn.Adam] = None
+
+    # ------------------------------------------------------------------ #
+    # Loss computation
+    # ------------------------------------------------------------------ #
+    def _batch_loss(
+        self,
+        split: FeaturizedSplit,
+        rows: Sequence[RegressionRow],
+        tau_probabilities: np.ndarray,
+    ) -> Tensor:
+        features = Tensor(split.row_features(rows))
+        per_distance = self.model.per_distance_estimates(features, deterministic=False)
+
+        cumulative_mask = Tensor(_cumulative_mask(rows, self.model.tau_max))
+        segment_mask = Tensor(_segment_mask(rows, self.model.tau_max))
+        cumulative_estimate = (per_distance * cumulative_mask).sum(axis=1)
+        segment_estimate = (per_distance * segment_mask).sum(axis=1)
+
+        cumulative_target = Tensor(np.asarray([row.cumulative for row in rows]))
+        segment_target = Tensor(np.asarray([row.segment_target for row in rows]))
+
+        # Row weights realize E_{τ~P}[·]; normalized so the loss scale is stable.
+        row_weights = tau_probabilities[[row.tau for row in rows]]
+        if row_weights.sum() <= 0:
+            row_weights = np.ones(len(rows))
+
+        total_loss = weighted_msle(cumulative_estimate, cumulative_target, row_weights)
+
+        dynamic_term = weighted_msle(
+            segment_estimate,
+            segment_target,
+            self.dynamic_weights.weights[[row.tau for row in rows]],
+        )
+        loss = total_loss + self.model.config.dynamic_loss_weight * dynamic_term
+        loss = loss + self.model.config.vae_loss_weight * self.model.vae_loss(features)
+        return loss
+
+    def _validation_losses(self, split: FeaturizedSplit) -> Tuple[float, np.ndarray]:
+        """Overall validation MSLE and the per-distance (per-τ-bucket) MSLE vector."""
+        if not split.rows:
+            return 0.0, np.zeros(self.model.tau_max + 1)
+        features = split.features
+        curves = self.model.estimate_curve(features)
+        estimates = np.asarray(
+            [curves[row.query_index, row.tau] for row in split.rows], dtype=np.float64
+        )
+        targets = split.cumulative_targets()
+        overall = msle(targets, estimates)
+
+        per_distance = np.zeros(self.model.tau_max + 1)
+        taus = split.taus()
+        for bucket in range(self.model.tau_max + 1):
+            mask = taus == bucket
+            if np.any(mask):
+                per_distance[bucket] = msle(targets[mask], estimates[mask])
+        return overall, per_distance
+
+    # ------------------------------------------------------------------ #
+    # Training loops
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        train_examples: Sequence[QueryExample],
+        validation_examples: Sequence[QueryExample],
+        epochs: int = 30,
+        pretrain_vae: bool = True,
+        patience: Optional[int] = None,
+        verbose: bool = False,
+    ) -> TrainingResult:
+        """Full training: optional VAE pre-training, then joint dynamic training."""
+        start_time = time.perf_counter()
+        train_split = featurize_examples(train_examples, self.extractor)
+        validation_split = featurize_examples(validation_examples, self.extractor)
+
+        vae_history: List[float] = []
+        if pretrain_vae and len(train_split.features):
+            from .vae import pretrain_vae as run_pretrain
+
+            vae_history = run_pretrain(
+                self.model.vae,
+                train_split.features,
+                epochs=self.vae_pretrain_epochs,
+                batch_size=self.batch_size,
+                learning_rate=self.learning_rate,
+                seed=self.seed,
+            )
+
+        result = self._train_regression(
+            train_split, validation_split, epochs=epochs, patience=patience, verbose=verbose
+        )
+        result.vae_pretrain_losses = vae_history
+        result.training_seconds = time.perf_counter() - start_time
+        return result
+
+    def _train_regression(
+        self,
+        train_split: FeaturizedSplit,
+        validation_split: FeaturizedSplit,
+        epochs: int,
+        patience: Optional[int],
+        verbose: bool,
+    ) -> TrainingResult:
+        rng = np.random.default_rng(self.seed)
+        if self._optimizer is None:
+            self._optimizer = nn.Adam(self.model.parameters(), lr=self.learning_rate)
+        optimizer = self._optimizer
+
+        validation_taus = validation_split.taus() if validation_split.rows else train_split.taus()
+        tau_probabilities = empirical_tau_distribution(validation_taus, self.model.tau_max)
+
+        train_losses: List[float] = []
+        validation_losses: List[float] = []
+        per_distance_history: List[np.ndarray] = []
+        best_validation = np.inf
+        epochs_without_improvement = 0
+        epochs_run = 0
+
+        self.model.train()
+        for epoch in range(epochs):
+            epochs_run = epoch + 1
+            order = rng.permutation(len(train_split.rows))
+            epoch_losses: List[float] = []
+            for start in range(0, len(order), self.batch_size):
+                batch_rows = [train_split.rows[i] for i in order[start : start + self.batch_size]]
+                optimizer.zero_grad()
+                loss = self._batch_loss(train_split, batch_rows, tau_probabilities)
+                loss.backward()
+                optimizer.clip_grad_norm(10.0)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            train_losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+
+            self.model.eval()
+            overall, per_distance = self._validation_losses(validation_split)
+            self.model.train()
+            validation_losses.append(overall)
+            per_distance_history.append(per_distance)
+            self.dynamic_weights.update(per_distance)
+
+            if verbose:  # pragma: no cover - console aid
+                print(f"epoch {epoch + 1}: train={train_losses[-1]:.4f} valid={overall:.4f}")
+
+            if overall < best_validation - 1e-6:
+                best_validation = overall
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if patience is not None and epochs_without_improvement >= patience:
+                    break
+
+        self.model.eval()
+        return TrainingResult(
+            epochs_run=epochs_run,
+            train_losses=train_losses,
+            validation_losses=validation_losses,
+            per_distance_validation_losses=per_distance_history,
+            training_seconds=0.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Incremental learning (paper §8)
+    # ------------------------------------------------------------------ #
+    def incremental_fit(
+        self,
+        train_examples: Sequence[QueryExample],
+        validation_examples: Sequence[QueryExample],
+        max_epochs: int = 20,
+        stable_epochs: int = 3,
+    ) -> TrainingResult:
+        """Continue training from the current parameters until the validation
+        error is stable for ``stable_epochs`` consecutive epochs (paper §8).
+
+        The optimizer state is preserved across calls, the full (re-labelled)
+        training data is used to avoid catastrophic forgetting, and the VAE is
+        not re-pre-trained.
+        """
+        start_time = time.perf_counter()
+        train_split = featurize_examples(train_examples, self.extractor)
+        validation_split = featurize_examples(validation_examples, self.extractor)
+
+        rng = np.random.default_rng(self.seed + 17)
+        if self._optimizer is None:
+            self._optimizer = nn.Adam(self.model.parameters(), lr=self.learning_rate)
+        optimizer = self._optimizer
+        tau_probabilities = empirical_tau_distribution(
+            validation_split.taus() if validation_split.rows else train_split.taus(),
+            self.model.tau_max,
+        )
+
+        train_losses: List[float] = []
+        validation_losses: List[float] = []
+        per_distance_history: List[np.ndarray] = []
+        previous_validation = None
+        stable_count = 0
+        epochs_run = 0
+
+        self.model.train()
+        for epoch in range(max_epochs):
+            epochs_run = epoch + 1
+            order = rng.permutation(len(train_split.rows))
+            epoch_losses: List[float] = []
+            for start in range(0, len(order), self.batch_size):
+                batch_rows = [train_split.rows[i] for i in order[start : start + self.batch_size]]
+                optimizer.zero_grad()
+                loss = self._batch_loss(train_split, batch_rows, tau_probabilities)
+                loss.backward()
+                optimizer.clip_grad_norm(10.0)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            train_losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+
+            self.model.eval()
+            overall, per_distance = self._validation_losses(validation_split)
+            self.model.train()
+            validation_losses.append(overall)
+            per_distance_history.append(per_distance)
+            self.dynamic_weights.update(per_distance)
+
+            if previous_validation is not None and abs(overall - previous_validation) < 1e-3:
+                stable_count += 1
+                if stable_count >= stable_epochs:
+                    break
+            else:
+                stable_count = 0
+            previous_validation = overall
+
+        self.model.eval()
+        return TrainingResult(
+            epochs_run=epochs_run,
+            train_losses=train_losses,
+            validation_losses=validation_losses,
+            per_distance_validation_losses=per_distance_history,
+            training_seconds=time.perf_counter() - start_time,
+        )

@@ -1,0 +1,35 @@
+"""Synthetic dataset generators and registry (stand-ins for the paper's corpora)."""
+
+from .registry import DATASET_REGISTRY, DEFAULT_DATASETS, list_datasets, load_dataset
+from .relations import MultiAttributeRelation, make_multi_attribute_relation
+from .synthetic import (
+    Dataset,
+    make_binary_dataset,
+    make_set_dataset,
+    make_string_dataset,
+    make_vector_dataset,
+)
+from .updates import (
+    UpdateOperation,
+    apply_operation,
+    apply_stream,
+    generate_update_stream,
+)
+
+__all__ = [
+    "Dataset",
+    "make_binary_dataset",
+    "make_string_dataset",
+    "make_set_dataset",
+    "make_vector_dataset",
+    "MultiAttributeRelation",
+    "make_multi_attribute_relation",
+    "UpdateOperation",
+    "generate_update_stream",
+    "apply_operation",
+    "apply_stream",
+    "DATASET_REGISTRY",
+    "DEFAULT_DATASETS",
+    "load_dataset",
+    "list_datasets",
+]

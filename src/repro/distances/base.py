@@ -1,0 +1,46 @@
+"""Distance function interface.
+
+The paper's framework is generic over a distance function ``f: O × O → R``
+(§2.1).  Concrete distances (Hamming, edit, Jaccard, Euclidean) implement this
+interface; exact selection algorithms, feature extraction, and workload label
+generation all go through it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class DistanceFunction(ABC):
+    """A distance between two records of a given data type."""
+
+    #: Short identifier used in reports and benchmark tables (e.g. ``"hamming"``).
+    name: str = "abstract"
+
+    #: Whether the distance takes only integer values (affects threshold handling).
+    integer_valued: bool = False
+
+    @abstractmethod
+    def distance(self, x: Any, y: Any) -> float:
+        """Distance between two records."""
+
+    def distances_to(self, x: Any, dataset: Sequence[Any]) -> np.ndarray:
+        """Vector of distances from query ``x`` to every record of ``dataset``.
+
+        Subclasses override this with vectorized kernels; the default falls
+        back to a per-record loop.
+        """
+        return np.array([self.distance(x, y) for y in dataset], dtype=np.float64)
+
+    def count_within(self, x: Any, dataset: Sequence[Any], threshold: float) -> int:
+        """Exact cardinality ``|{y in dataset : f(x, y) <= threshold}|``."""
+        return int(np.count_nonzero(self.distances_to(x, dataset) <= threshold + 1e-12))
+
+    def __call__(self, x: Any, y: Any) -> float:
+        return self.distance(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

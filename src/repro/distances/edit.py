@@ -1,0 +1,90 @@
+"""Levenshtein edit distance on strings, with a banded early-exit variant."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .base import DistanceFunction
+
+
+def levenshtein(x: str, y: str) -> int:
+    """Classic dynamic-programming edit distance (insert/delete/substitute)."""
+    if x == y:
+        return 0
+    if not x:
+        return len(y)
+    if not y:
+        return len(x)
+    previous = list(range(len(y) + 1))
+    current = [0] * (len(y) + 1)
+    for i, char_x in enumerate(x, start=1):
+        current[0] = i
+        for j, char_y in enumerate(y, start=1):
+            cost = 0 if char_x == char_y else 1
+            current[j] = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+        previous, current = current, previous
+    return previous[len(y)]
+
+
+def levenshtein_within(x: str, y: str, threshold: int) -> Optional[int]:
+    """Banded edit distance: return the distance if it is <= threshold, else None.
+
+    Only cells within ``threshold`` of the diagonal are filled in, which makes
+    label generation on long strings with small thresholds far cheaper than the
+    full DP — the same trick exact similarity-selection algorithms use.
+    """
+    if threshold < 0:
+        return None
+    len_x, len_y = len(x), len(y)
+    if abs(len_x - len_y) > threshold:
+        return None
+    if x == y:
+        return 0
+    if threshold == 0:
+        return None
+    big = threshold + 1
+    previous = np.arange(len_y + 1, dtype=np.int64)
+    current = np.empty(len_y + 1, dtype=np.int64)
+    for i in range(1, len_x + 1):
+        current[:] = big
+        current[0] = i
+        low = max(1, i - threshold)
+        high = min(len_y, i + threshold)
+        char_x = x[i - 1]
+        for j in range(low, high + 1):
+            cost = 0 if char_x == y[j - 1] else 1
+            best = previous[j - 1] + cost
+            if previous[j] + 1 < best:
+                best = previous[j] + 1
+            if current[j - 1] + 1 < best:
+                best = current[j - 1] + 1
+            current[j] = best
+        if current[low:high + 1].min() > threshold:
+            return None
+        previous, current = current.copy(), previous
+    result = int(previous[len_y])
+    return result if result <= threshold else None
+
+
+class EditDistance(DistanceFunction):
+    """Levenshtein distance between strings."""
+
+    name = "edit"
+    integer_valued = True
+
+    def distance(self, x: str, y: str) -> float:
+        return float(levenshtein(x, y))
+
+    def count_within(self, x: str, dataset: Sequence[str], threshold: float) -> int:
+        threshold_int = int(threshold)
+        count = 0
+        for record in dataset:
+            if levenshtein_within(x, record, threshold_int) is not None:
+                count += 1
+        return count

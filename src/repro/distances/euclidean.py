@@ -1,0 +1,39 @@
+"""Euclidean (L2) distance on real-valued vectors."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import DistanceFunction
+
+
+class EuclideanDistance(DistanceFunction):
+    """Standard L2 distance, evaluated with vectorized numpy kernels."""
+
+    name = "euclidean"
+    integer_valued = False
+
+    def distance(self, x, y) -> float:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape:
+            raise ValueError(f"dimension mismatch: {x.shape} vs {y.shape}")
+        return float(np.linalg.norm(x - y))
+
+    def distances_to(self, x, dataset: Sequence) -> np.ndarray:
+        data = np.asarray(dataset, dtype=np.float64)
+        if data.ndim != 2:
+            data = np.stack([np.asarray(record, dtype=np.float64) for record in dataset])
+        query = np.asarray(x, dtype=np.float64)
+        deltas = data - query[None, :]
+        return np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize each row (the paper normalizes GloVe vectors before use)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms = np.where(norms == 0.0, 1.0, norms)
+    return matrix / norms

@@ -1,0 +1,57 @@
+"""Hamming distance on binary vectors, with bit-packed batch kernels."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import DistanceFunction
+
+
+def pack_bits(vectors: np.ndarray) -> np.ndarray:
+    """Pack a (n, d) 0/1 matrix into a (n, ceil(d/8)) uint8 matrix.
+
+    Packing lets the batch Hamming kernel use ``np.bitwise_xor`` +
+    ``popcount`` (via ``np.unpackbits``) which is dramatically faster than
+    comparing unpacked arrays for large dimensionality.
+    """
+    vectors = np.asarray(vectors)
+    if vectors.ndim == 1:
+        vectors = vectors[None, :]
+    return np.packbits(vectors.astype(np.uint8), axis=1)
+
+
+def unpack_bits(packed: np.ndarray, dimension: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`, truncating padding columns."""
+    return np.unpackbits(packed, axis=1)[:, :dimension]
+
+
+_POPCOUNT_TABLE = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+
+def packed_hamming_distances(query_packed: np.ndarray, dataset_packed: np.ndarray) -> np.ndarray:
+    """Hamming distances between one packed query row and many packed rows."""
+    xor = np.bitwise_xor(dataset_packed, query_packed)
+    return _POPCOUNT_TABLE[xor].sum(axis=1).astype(np.int64)
+
+
+class HammingDistance(DistanceFunction):
+    """Number of positions at which two binary vectors differ."""
+
+    name = "hamming"
+    integer_valued = True
+
+    def distance(self, x, y) -> float:
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.shape != y.shape:
+            raise ValueError(f"dimension mismatch: {x.shape} vs {y.shape}")
+        return float(np.count_nonzero(x != y))
+
+    def distances_to(self, x, dataset: Sequence) -> np.ndarray:
+        data = np.asarray(dataset)
+        query = np.asarray(x)
+        if data.ndim != 2:
+            data = np.stack([np.asarray(record) for record in dataset])
+        return np.count_nonzero(data != query[None, :], axis=1).astype(np.float64)

@@ -1,0 +1,45 @@
+"""Jaccard distance on sets of tokens."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Set, Union
+
+from .base import DistanceFunction
+
+SetLike = Union[Set[int], FrozenSet[int], Sequence[int]]
+
+
+def as_frozenset(record: SetLike) -> FrozenSet[int]:
+    """Normalize a record to a frozenset of hashable tokens."""
+    if isinstance(record, frozenset):
+        return record
+    return frozenset(record)
+
+
+def jaccard_similarity(x: SetLike, y: SetLike) -> float:
+    """|x ∩ y| / |x ∪ y| with the convention that two empty sets are identical."""
+    set_x = as_frozenset(x)
+    set_y = as_frozenset(y)
+    if not set_x and not set_y:
+        return 1.0
+    intersection = len(set_x & set_y)
+    union = len(set_x) + len(set_y) - intersection
+    return intersection / union
+
+
+class JaccardDistance(DistanceFunction):
+    """1 - Jaccard similarity, the distance form used throughout the paper (§4.3)."""
+
+    name = "jaccard"
+    integer_valued = False
+
+    def distance(self, x: SetLike, y: SetLike) -> float:
+        return 1.0 - jaccard_similarity(x, y)
+
+    def count_within(self, x: SetLike, dataset: Iterable[SetLike], threshold: float) -> int:
+        set_x = as_frozenset(x)
+        count = 0
+        for record in dataset:
+            if 1.0 - jaccard_similarity(set_x, record) <= threshold + 1e-12:
+                count += 1
+        return count

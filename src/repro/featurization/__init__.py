@@ -1,0 +1,19 @@
+"""Feature extraction case studies (paper §4): map records/thresholds to Hamming space."""
+
+from .base import FeatureExtractor, proportional_threshold_map
+from .edit import EditFeatureExtractor
+from .euclidean import PStableEuclideanFeatureExtractor, collision_probability
+from .factory import build_feature_extractor
+from .hamming import HammingFeatureExtractor
+from .jaccard import MinHashJaccardFeatureExtractor
+
+__all__ = [
+    "FeatureExtractor",
+    "proportional_threshold_map",
+    "HammingFeatureExtractor",
+    "EditFeatureExtractor",
+    "MinHashJaccardFeatureExtractor",
+    "PStableEuclideanFeatureExtractor",
+    "collision_probability",
+    "build_feature_extractor",
+]

@@ -1,0 +1,67 @@
+"""Feature-extraction interface: h(x, θ) → (binary vector, integer threshold).
+
+Paper §3.2: feature extraction decouples data modelling from regression.  Any
+record type is mapped to a fixed-dimensional binary vector whose Hamming
+distances (exactly or approximately) capture the original distance semantics,
+and any threshold θ in ``[0, θ_max]`` is mapped monotonically to an integer τ
+in ``[0, τ_max]`` (Lemma 1 requires the threshold transform to be monotone).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, List, Sequence
+
+import numpy as np
+
+
+class FeatureExtractor(ABC):
+    """Maps records and thresholds into the Hamming-space interface of CardNet."""
+
+    #: Dimensionality of the produced binary vectors.
+    dimension: int
+    #: Maximum integer threshold τ_max (controls the number of decoders).
+    tau_max: int
+    #: Maximum original threshold θ_max supported.
+    theta_max: float
+
+    @abstractmethod
+    def transform_record(self, record: Any) -> np.ndarray:
+        """Binary representation x ∈ {0, 1}^d of a record."""
+
+    @abstractmethod
+    def transform_threshold(self, theta: float) -> int:
+        """Monotone map from θ ∈ [0, θ_max] to τ ∈ [0, τ_max]."""
+
+    # ------------------------------------------------------------------ #
+    # Batch helpers
+    # ------------------------------------------------------------------ #
+    def transform_records(self, records: Sequence[Any]) -> np.ndarray:
+        """Stack the binary representations of many records into an (n, d) matrix."""
+        return np.stack([self.transform_record(record) for record in records]).astype(np.float64)
+
+    def transform_thresholds(self, thetas: Sequence[float]) -> np.ndarray:
+        """Vector of integer thresholds for many original thresholds."""
+        return np.asarray([self.transform_threshold(theta) for theta in thetas], dtype=np.int64)
+
+    def validate_threshold(self, theta: float) -> None:
+        if theta < 0 or theta > self.theta_max + 1e-9:
+            raise ValueError(
+                f"threshold {theta} outside supported range [0, {self.theta_max}]"
+            )
+
+    def available_taus(self) -> List[int]:
+        """All integer thresholds that some θ ∈ [0, θ_max] can map to."""
+        return sorted({self.transform_threshold(theta) for theta in np.linspace(0.0, self.theta_max, 512)})
+
+
+def proportional_threshold_map(theta: float, theta_max: float, tau_max: int) -> int:
+    """τ = floor(τ_max · θ / θ_max), the transformation used for HM/ED/JC (§4).
+
+    For integer-valued distances with θ_max <= τ_max the identity is used by
+    the callers instead, so each original threshold keeps its own decoder.
+    """
+    if theta_max <= 0:
+        return 0
+    ratio = min(max(theta / theta_max, 0.0), 1.0)
+    return int(np.floor(tau_max * ratio + 1e-12))

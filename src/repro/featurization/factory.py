@@ -1,0 +1,75 @@
+"""Build the appropriate feature extractor for a dataset (paper §4 case studies)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datasets.synthetic import Dataset
+from .base import FeatureExtractor
+from .edit import EditFeatureExtractor
+from .euclidean import PStableEuclideanFeatureExtractor
+from .hamming import HammingFeatureExtractor
+from .jaccard import MinHashJaccardFeatureExtractor
+
+
+def build_feature_extractor(
+    dataset: Dataset,
+    tau_max: Optional[int] = None,
+    seed: int = 0,
+    **overrides,
+) -> FeatureExtractor:
+    """Instantiate the case-study featurization matching ``dataset.distance_name``.
+
+    Parameters
+    ----------
+    dataset:
+        A synthetic dataset carrying the data type, θ_max, and type metadata.
+    tau_max:
+        Number of decoders minus one; defaults follow the paper's choices
+        (identity for integer distances, 16 for real-valued ones).
+    overrides:
+        Extra keyword arguments forwarded to the concrete extractor (e.g.
+        ``num_permutations`` for minhash, ``num_hashes`` for p-stable LSH).
+    """
+    name = dataset.distance_name
+    if name == "hamming":
+        dimension = int(dataset.extra.get("dimension", len(dataset.records[0])))
+        return HammingFeatureExtractor(
+            dimension=dimension,
+            theta_max=dataset.theta_max,
+            tau_max=tau_max if tau_max is not None else int(dataset.theta_max),
+            **overrides,
+        )
+    if name == "edit":
+        alphabet = dataset.extra.get("alphabet")
+        if alphabet is None:
+            alphabet = sorted({c for record in dataset.records for c in record})
+        max_length = int(dataset.extra.get("max_length", max(len(r) for r in dataset.records)))
+        return EditFeatureExtractor(
+            alphabet=list(alphabet),
+            max_length=max_length,
+            theta_max=dataset.theta_max,
+            tau_max=tau_max if tau_max is not None else int(dataset.theta_max),
+            **overrides,
+        )
+    if name == "jaccard":
+        universe = int(dataset.extra.get("universe_size", 0))
+        if universe <= 0:
+            universe = max(max(record) for record in dataset.records if record) + 1
+        return MinHashJaccardFeatureExtractor(
+            universe_size=universe,
+            theta_max=dataset.theta_max,
+            tau_max=tau_max if tau_max is not None else 16,
+            seed=seed,
+            **overrides,
+        )
+    if name == "euclidean":
+        dimension = int(dataset.extra.get("dimension", len(dataset.records[0])))
+        return PStableEuclideanFeatureExtractor(
+            input_dimension=dimension,
+            theta_max=dataset.theta_max,
+            tau_max=tau_max if tau_max is not None else 16,
+            seed=seed,
+            **overrides,
+        )
+    raise KeyError(f"no feature extractor registered for distance {name!r}")

@@ -1,0 +1,23 @@
+"""Error metrics for cardinality estimation."""
+
+from .errors import (
+    AccuracyReport,
+    cardinality_range_groups,
+    grouped_errors,
+    mape,
+    mean_q_error,
+    monotonicity_violation_rate,
+    mse,
+    msle,
+)
+
+__all__ = [
+    "mse",
+    "mape",
+    "msle",
+    "mean_q_error",
+    "monotonicity_violation_rate",
+    "AccuracyReport",
+    "grouped_errors",
+    "cardinality_range_groups",
+]

@@ -1,0 +1,68 @@
+"""Numpy-based neural network substrate (autodiff, layers, losses, optimizers).
+
+This package stands in for PyTorch/TensorFlow, which the original paper used
+for training CardNet.  It provides exactly the primitives the reproduced models
+need: a reverse-mode autodiff :class:`~repro.nn.tensor.Tensor`, torch-style
+:class:`~repro.nn.module.Module` composition, dense layers and activations,
+the losses used in the paper (MSLE, VAE reconstruction + KL), and the Adam
+optimizer.
+"""
+
+from .gradcheck import check_gradients, numerical_gradient
+from .layers import (
+    ELU,
+    Embedding,
+    Identity,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    mlp,
+)
+from .losses import (
+    bce_with_logits_loss,
+    gaussian_kl_loss,
+    mae_loss,
+    mse_loss,
+    msle_loss,
+    q_error_loss,
+)
+from .module import Module
+from .optim import SGD, Adam, Optimizer, StepLR
+from .serialization import load_module, save_module, serialized_size
+from .tensor import Tensor, concatenate, stack, where
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "Module",
+    "Linear",
+    "ReLU",
+    "ELU",
+    "Sigmoid",
+    "Tanh",
+    "Softplus",
+    "Identity",
+    "Sequential",
+    "Embedding",
+    "mlp",
+    "mse_loss",
+    "msle_loss",
+    "mae_loss",
+    "bce_with_logits_loss",
+    "gaussian_kl_loss",
+    "q_error_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "save_module",
+    "load_module",
+    "serialized_size",
+    "check_gradients",
+    "numerical_gradient",
+]

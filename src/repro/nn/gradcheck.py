@@ -1,0 +1,64 @@
+"""Finite-difference gradient checking utilities.
+
+Used by the test suite to verify that every autodiff operation used by the
+reproduced models produces correct gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[[], Tensor],
+    parameter: Tensor,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Estimate d func() / d parameter with central differences.
+
+    ``func`` must recompute the scalar loss from scratch on each call so that
+    perturbations to ``parameter.data`` are reflected in the output.
+    """
+    gradient = np.zeros_like(parameter.data)
+    flat_param = parameter.data.reshape(-1)
+    flat_grad = gradient.reshape(-1)
+    for index in range(flat_param.size):
+        original = flat_param[index]
+        flat_param[index] = original + epsilon
+        plus = func().item()
+        flat_param[index] = original - epsilon
+        minus = func().item()
+        flat_param[index] = original
+        flat_grad[index] = (plus - minus) / (2.0 * epsilon)
+    return gradient
+
+
+def check_gradients(
+    func: Callable[[], Tensor],
+    parameters: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> bool:
+    """Compare analytic and numerical gradients for each parameter.
+
+    Returns ``True`` when all gradients match within tolerance; raises
+    ``AssertionError`` with a descriptive message otherwise.
+    """
+    for param in parameters:
+        param.zero_grad()
+    loss = func()
+    loss.backward()
+    for position, param in enumerate(parameters):
+        analytic = param.grad if param.grad is not None else np.zeros_like(param.data)
+        numeric = numerical_gradient(func, param, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_diff = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"gradient mismatch for parameter #{position}: max diff {max_diff:.3e}"
+            )
+    return True

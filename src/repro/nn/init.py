@@ -1,0 +1,26 @@
+"""Parameter initialization schemes for the numpy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a (fan_in, fan_out) weight."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Kaiming/He normal initialization, suitable for ReLU networks."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def normal(shape, rng: np.random.Generator, std: float = 1.0) -> np.ndarray:
+    """Standard normal initialization (used for distance embeddings, paper §5.2.2)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,73 @@
+"""Loss functions for training the reproduced models.
+
+The paper trains its regression with the mean squared logarithmic error
+(MSLE, §6.2) plus a per-distance dynamic term, and the VAE with the usual
+reconstruction + KL objective.  All losses here operate on autodiff Tensors and
+return scalar Tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def msle_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared logarithmic error: mean((log1p(pred) - log1p(target))^2).
+
+    The prediction is clipped at zero from below so the logarithm is defined
+    even if a decoder momentarily produces a tiny negative value before ReLU
+    clamping (should not happen, but keeps training robust).
+    """
+    log_pred = prediction.clip(min_value=0.0).log1p()
+    log_target = target.clip(min_value=0.0).log1p()
+    diff = log_pred - log_target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error via a smooth |x| ~ sqrt(x^2 + eps) approximation."""
+    diff = prediction - target
+    return ((diff * diff + 1e-12) ** 0.5).mean()
+
+
+def bce_with_logits_loss(logits: Tensor, target: Tensor) -> Tensor:
+    """Numerically stable binary cross entropy on logits.
+
+    Used for the VAE's Bernoulli reconstruction of binary feature vectors:
+    ``max(z, 0) - z*y + log(1 + exp(-|z|))``.
+    """
+    positive_part = logits.relu()
+    abs_logits = Tensor(np.abs(logits.data))
+    # log(1 + exp(-|z|)) built from graph ops so gradients flow through logits.
+    neg_abs = logits * Tensor(np.sign(-logits.data))
+    softplus_term = neg_abs.exp().log1p()
+    loss = positive_part - logits * target + softplus_term
+    _ = abs_logits  # documented intermediate; |z| itself carries no gradient
+    return loss.mean()
+
+
+def gaussian_kl_loss(mean: Tensor, log_var: Tensor) -> Tensor:
+    """KL( N(mean, exp(log_var)) || N(0, I) ), averaged over the batch."""
+    kl_per_dim = (mean * mean + log_var.exp() - log_var - 1.0) * 0.5
+    return kl_per_dim.sum(axis=-1).mean()
+
+
+def q_error_loss(prediction: Tensor, target: Tensor, epsilon: float = 1.0) -> Tensor:
+    """Smooth surrogate of the q-error max(c/ĉ, ĉ/c) using log-space distance.
+
+    Not used by the paper's training but exposed for experimentation; in log
+    space the q-error is exp(|log ĉ - log c|), so the squared log difference is
+    a convenient differentiable proxy.
+    """
+    log_pred = (prediction.clip(min_value=0.0) + epsilon).log()
+    log_target = (target.clip(min_value=0.0) + epsilon).log()
+    diff = log_pred - log_target
+    return (diff * diff).mean()

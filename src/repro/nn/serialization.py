@@ -1,0 +1,47 @@
+"""Saving and loading model parameters.
+
+Models are persisted as ``.npz`` archives of their flat ``state_dict``.  The
+model-size benchmark (paper Table 9) reports the size of these archives.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_module(module: Module, path: PathLike) -> int:
+    """Serialize ``module`` parameters to ``path`` and return the byte size."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    # npz keys cannot contain '/', dots are fine.
+    np.savez(path, **state)
+    return path.stat().st_size
+
+
+def load_module(module: Module, path: PathLike) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module`` in place."""
+    with np.load(Path(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module
+
+
+def serialized_size(module: Module) -> int:
+    """Return the size in bytes of the module serialized to an in-memory npz.
+
+    This avoids touching the filesystem and is what the benchmarks report as
+    "model size".
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **module.state_dict())
+    return buffer.getbuffer().nbytes

@@ -1,0 +1,35 @@
+"""Query-optimizer case studies driven by cardinality estimation (paper §9.11)."""
+
+from .conjunctive import (
+    ConjunctiveQuery,
+    ConjunctiveQueryProcessor,
+    Predicate,
+    QueryExecution,
+    WorkloadReport,
+    generate_conjunctive_queries,
+    run_conjunctive_workload,
+)
+from .gph import (
+    GPHExecution,
+    GPHQueryProcessor,
+    exact_part_estimator,
+    histogram_part_estimator,
+    mean_part_estimator,
+    model_part_estimator,
+)
+
+__all__ = [
+    "Predicate",
+    "ConjunctiveQuery",
+    "ConjunctiveQueryProcessor",
+    "QueryExecution",
+    "WorkloadReport",
+    "generate_conjunctive_queries",
+    "run_conjunctive_workload",
+    "GPHQueryProcessor",
+    "GPHExecution",
+    "exact_part_estimator",
+    "mean_part_estimator",
+    "histogram_part_estimator",
+    "model_part_estimator",
+]

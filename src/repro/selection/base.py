@@ -1,0 +1,39 @@
+"""Interface for exact similarity-selection algorithms.
+
+Exact selection serves three purposes in the reproduction, mirroring the paper:
+
+1. Label generation for training/validation/testing workloads (§6.1).
+2. The ``SimSelect`` row of the estimation-time comparison (Table 6).
+3. The ``Exact`` oracle in the query-optimizer case studies (§9.11).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, List, Sequence
+
+
+class SimilaritySelector(ABC):
+    """Answers similarity selection queries exactly over a fixed dataset."""
+
+    def __init__(self, dataset: Sequence) -> None:
+        self._dataset = list(dataset)
+
+    def __len__(self) -> int:
+        return len(self._dataset)
+
+    @property
+    def dataset(self) -> List:
+        return self._dataset
+
+    @abstractmethod
+    def query(self, record: Any, threshold: float) -> List[int]:
+        """Return the indexes of all records within ``threshold`` of ``record``."""
+
+    def cardinality(self, record: Any, threshold: float) -> int:
+        """Exact cardinality of the selection (length of :meth:`query`)."""
+        return len(self.query(record, threshold))
+
+    def rebuild(self, dataset: Sequence) -> "SimilaritySelector":
+        """Return a new selector over an updated dataset (same configuration)."""
+        return type(self)(dataset)

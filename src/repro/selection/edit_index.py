@@ -1,0 +1,85 @@
+"""Exact edit-distance selection with length and q-gram count filtering.
+
+This mirrors the structure of state-of-the-art string similarity selection:
+cheap filters prune most of the dataset, and the banded verification
+(:func:`repro.distances.edit.levenshtein_within`) confirms survivors.
+
+Filters used (all are necessary conditions for ``ed(x, y) <= θ``):
+
+* length filter: ``| |x| - |y| | <= θ``;
+* count filter on positional-free q-grams: two strings within edit distance θ
+  share at least ``max(|x|, |y|) - q + 1 - q·θ`` q-grams.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Sequence
+
+from ..distances.edit import levenshtein_within
+from .base import SimilaritySelector
+
+
+def qgrams(text: str, q: int) -> Counter:
+    """Multiset of q-grams of ``text`` (padded strings shorter than q count once)."""
+    if len(text) < q:
+        return Counter({text: 1})
+    return Counter(text[i : i + q] for i in range(len(text) - q + 1))
+
+
+class QGramEditSelector(SimilaritySelector):
+    """Inverted q-gram index + length filter + banded verification."""
+
+    def __init__(self, dataset: Sequence[str], q: int = 2) -> None:
+        super().__init__([str(record) for record in dataset])
+        if q <= 0:
+            raise ValueError("q must be positive")
+        self.q = q
+        self._grams: List[Counter] = [qgrams(record, q) for record in self._dataset]
+        self._lengths: List[int] = [len(record) for record in self._dataset]
+        # Inverted index: q-gram -> record ids containing it.
+        self._inverted: Dict[str, List[int]] = defaultdict(list)
+        for record_id, grams in enumerate(self._grams):
+            for gram in grams:
+                self._inverted[gram].append(record_id)
+        # Group record ids by length for the length filter.
+        self._by_length: Dict[int, List[int]] = defaultdict(list)
+        for record_id, length in enumerate(self._lengths):
+            self._by_length[length].append(record_id)
+
+    def _length_candidates(self, query_length: int, threshold: int) -> List[int]:
+        candidates: List[int] = []
+        for length in range(query_length - threshold, query_length + threshold + 1):
+            candidates.extend(self._by_length.get(length, ()))
+        return candidates
+
+    def query(self, record: str, threshold: float) -> List[int]:
+        threshold_int = int(threshold)
+        record = str(record)
+        query_grams = qgrams(record, self.q)
+        query_length = len(record)
+
+        length_candidates = self._length_candidates(query_length, threshold_int)
+        if not length_candidates:
+            return []
+
+        # Count common q-grams through the inverted index, restricted by length.
+        length_candidate_set = set(length_candidates)
+        shared_counts: Dict[int, int] = defaultdict(int)
+        for gram, multiplicity in query_grams.items():
+            for record_id in self._inverted.get(gram, ()):
+                if record_id in length_candidate_set:
+                    shared_counts[record_id] += min(multiplicity, self._grams[record_id][gram])
+
+        matches: List[int] = []
+        for record_id in length_candidates:
+            candidate = self._dataset[record_id]
+            required = max(query_length, self._lengths[record_id]) - self.q + 1 - self.q * threshold_int
+            if required > 0 and shared_counts.get(record_id, 0) < required:
+                continue
+            if levenshtein_within(record, candidate, threshold_int) is not None:
+                matches.append(record_id)
+        return matches
+
+    def rebuild(self, dataset: Sequence) -> "QGramEditSelector":
+        return QGramEditSelector(dataset, q=self.q)

@@ -1,0 +1,73 @@
+"""Exact Euclidean-distance selection via a ball-partition (cover-tree-like) index.
+
+The paper uses a cover tree for the conjunctive-query case study.  Here the
+dataset is partitioned into balls around pivot points (a light-weight
+approximation of a one-level cover tree): at query time the triangle
+inequality prunes whole balls whose pivot is farther than
+``threshold + ball_radius`` from the query, and the survivors are verified
+with vectorized distance computations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .base import SimilaritySelector
+
+
+class BallIndexEuclideanSelector(SimilaritySelector):
+    """Pivot/ball partition index with triangle-inequality pruning."""
+
+    def __init__(self, dataset: Sequence, num_pivots: int = 16, seed: int = 0) -> None:
+        matrix = np.asarray(dataset, dtype=np.float64)
+        if matrix.ndim != 2:
+            matrix = np.stack([np.asarray(record, dtype=np.float64) for record in dataset])
+        super().__init__(list(matrix))
+        self._matrix = matrix
+        rng = np.random.default_rng(seed)
+        num_records = len(matrix)
+        num_pivots = min(num_pivots, max(1, num_records))
+        if num_records:
+            pivot_ids = rng.choice(num_records, size=num_pivots, replace=False)
+            self._pivots = matrix[pivot_ids]
+            # Assign each record to its nearest pivot.
+            distances = np.linalg.norm(
+                matrix[:, None, :] - self._pivots[None, :, :], axis=2
+            )
+            self._assignments = distances.argmin(axis=1)
+            self._radii = np.zeros(num_pivots)
+            self._members: List[np.ndarray] = []
+            for pivot_id in range(num_pivots):
+                member_ids = np.nonzero(self._assignments == pivot_id)[0]
+                self._members.append(member_ids)
+                if member_ids.size:
+                    self._radii[pivot_id] = distances[member_ids, pivot_id].max()
+        else:
+            self._pivots = np.zeros((0, matrix.shape[1] if matrix.ndim == 2 else 0))
+            self._members = []
+            self._radii = np.zeros(0)
+
+    def query(self, record, threshold: float) -> List[int]:
+        if len(self._dataset) == 0:
+            return []
+        query = np.asarray(record, dtype=np.float64)
+        pivot_distances = np.linalg.norm(self._pivots - query[None, :], axis=1)
+        matches: List[int] = []
+        for pivot_id, pivot_distance in enumerate(pivot_distances):
+            member_ids = self._members[pivot_id]
+            if member_ids.size == 0:
+                continue
+            # Prune: every member is within radii[pivot] of the pivot, so the
+            # closest any member can be to the query is pivot_distance - radius.
+            if pivot_distance - self._radii[pivot_id] > threshold + 1e-12:
+                continue
+            block = self._matrix[member_ids]
+            deltas = block - query[None, :]
+            distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+            matches.extend(int(i) for i in member_ids[distances <= threshold + 1e-12])
+        return sorted(matches)
+
+    def rebuild(self, dataset: Sequence) -> "BallIndexEuclideanSelector":
+        return BallIndexEuclideanSelector(dataset, num_pivots=len(self._pivots) or 16)

@@ -1,0 +1,81 @@
+"""Exact Jaccard-distance selection with size and prefix filtering.
+
+For a Jaccard distance threshold ``θ`` (similarity threshold ``s = 1 - θ``):
+
+* size filter: ``s · |x| <= |y| <= |x| / s``;
+* prefix filter: order the element universe globally; two sets with
+  ``J(x, y) >= s`` must share at least one element among the first
+  ``|x| - ceil(s · |x|) + 1`` elements of x (its *prefix*).
+
+Candidates surviving both filters are verified with the exact similarity.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..distances.jaccard import as_frozenset, jaccard_similarity
+from .base import SimilaritySelector
+
+
+class PrefixFilterJaccardSelector(SimilaritySelector):
+    """Prefix-filter inverted index for Jaccard similarity selection."""
+
+    def __init__(self, dataset: Sequence) -> None:
+        records = [as_frozenset(record) for record in dataset]
+        super().__init__(records)
+        # Global ordering by document frequency (rare elements first), the
+        # standard choice that keeps prefixes selective.
+        frequency: Dict[int, int] = defaultdict(int)
+        for record in records:
+            for element in record:
+                frequency[element] += 1
+        self._order: Dict[int, Tuple[int, int]] = {
+            element: (count, element) for element, count in frequency.items()
+        }
+        self._sorted_records: List[List[int]] = [
+            sorted(record, key=lambda el: self._order.get(el, (0, el))) for record in records
+        ]
+        self._sizes = [len(record) for record in records]
+        # Inverted index over *all* elements; prefix filtering happens at query
+        # time so a single index supports every threshold.
+        self._inverted: Dict[int, List[int]] = defaultdict(list)
+        for record_id, sorted_record in enumerate(self._sorted_records):
+            for element in sorted_record:
+                self._inverted[element].append(record_id)
+
+    def _element_key(self, element: int) -> Tuple[int, int]:
+        return self._order.get(element, (0, element))
+
+    def query(self, record, threshold: float) -> List[int]:
+        query_set = as_frozenset(record)
+        similarity_threshold = 1.0 - float(threshold)
+        if similarity_threshold <= 0.0:
+            return list(range(len(self._dataset)))
+        query_sorted = sorted(query_set, key=self._element_key)
+        query_size = len(query_sorted)
+        if query_size == 0:
+            # Empty query matches exactly the empty sets (similarity convention 1.0).
+            return [i for i, size in enumerate(self._sizes) if size == 0]
+
+        prefix_length = query_size - math.ceil(similarity_threshold * query_size) + 1
+        prefix_length = max(1, min(prefix_length, query_size))
+        candidate_ids: set[int] = set()
+        for element in query_sorted[:prefix_length]:
+            candidate_ids.update(self._inverted.get(element, ()))
+
+        min_size = similarity_threshold * query_size
+        max_size = query_size / similarity_threshold
+        matches: List[int] = []
+        for record_id in candidate_ids:
+            size = self._sizes[record_id]
+            if size < min_size - 1e-9 or size > max_size + 1e-9:
+                continue
+            if jaccard_similarity(query_set, self._dataset[record_id]) >= similarity_threshold - 1e-12:
+                matches.append(record_id)
+        return sorted(matches)
+
+    def rebuild(self, dataset: Sequence) -> "PrefixFilterJaccardSelector":
+        return PrefixFilterJaccardSelector(dataset)

@@ -1,0 +1,30 @@
+"""Linear-scan selection: the reference implementation every index is tested against."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+import numpy as np
+
+from ..distances.base import DistanceFunction
+from .base import SimilaritySelector
+
+
+class LinearScanSelector(SimilaritySelector):
+    """Evaluate the distance to every record; correct for any distance function."""
+
+    def __init__(self, dataset: Sequence, distance: DistanceFunction) -> None:
+        super().__init__(dataset)
+        self.distance = distance
+
+    def query(self, record: Any, threshold: float) -> List[int]:
+        distances = self.distance.distances_to(record, self._dataset)
+        matches = np.nonzero(distances <= threshold + 1e-12)[0]
+        return [int(i) for i in matches]
+
+    def cardinality(self, record: Any, threshold: float) -> int:
+        distances = self.distance.distances_to(record, self._dataset)
+        return int(np.count_nonzero(distances <= threshold + 1e-12))
+
+    def rebuild(self, dataset: Sequence) -> "LinearScanSelector":
+        return LinearScanSelector(dataset, self.distance)

@@ -1,0 +1,25 @@
+"""Query workload generation, labelling, splitting, and out-of-dataset queries."""
+
+from .builder import (
+    SAMPLING_POLICIES,
+    build_workload,
+    label_queries,
+    relabel,
+    sample_query_indexes,
+    sample_thresholds,
+)
+from .examples import QueryExample, Workload
+from .outliers import generate_out_of_dataset_queries, k_medoids
+
+__all__ = [
+    "QueryExample",
+    "Workload",
+    "build_workload",
+    "label_queries",
+    "relabel",
+    "sample_thresholds",
+    "sample_query_indexes",
+    "SAMPLING_POLICIES",
+    "generate_out_of_dataset_queries",
+    "k_medoids",
+]

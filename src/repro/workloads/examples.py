@@ -1,0 +1,53 @@
+"""Workload data structures: labelled (record, threshold, cardinality) examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class QueryExample:
+    """One labelled training/evaluation instance ⟨x, θ, c⟩ (paper §6.1)."""
+
+    record: Any
+    theta: float
+    cardinality: int
+
+
+@dataclass
+class Workload:
+    """Train / validation / test splits of labelled query examples."""
+
+    train: List[QueryExample] = field(default_factory=list)
+    validation: List[QueryExample] = field(default_factory=list)
+    test: List[QueryExample] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[QueryExample]:
+        yield from self.train
+        yield from self.validation
+        yield from self.test
+
+    def __len__(self) -> int:
+        return len(self.train) + len(self.validation) + len(self.test)
+
+    def summary(self) -> dict:
+        return {
+            "train": len(self.train),
+            "validation": len(self.validation),
+            "test": len(self.test),
+        }
+
+    @staticmethod
+    def records(examples: Sequence[QueryExample]) -> List[Any]:
+        return [example.record for example in examples]
+
+    @staticmethod
+    def thetas(examples: Sequence[QueryExample]) -> np.ndarray:
+        return np.asarray([example.theta for example in examples], dtype=np.float64)
+
+    @staticmethod
+    def cardinalities(examples: Sequence[QueryExample]) -> np.ndarray:
+        return np.asarray([example.cardinality for example in examples], dtype=np.float64)

@@ -1,0 +1,136 @@
+"""Out-of-dataset query generation for the generalizability study (paper §9.10).
+
+The paper runs k-medoids on the dataset, generates random candidate queries of
+the same data type, rejects any that already appear in the dataset, and keeps
+the candidates with the largest sum of squared distances to the k medoids —
+i.e. queries that look *least* like the data the models were trained on.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List, Sequence
+
+import numpy as np
+
+from ..datasets.synthetic import Dataset
+from ..distances import get_distance
+
+
+def k_medoids(
+    records: Sequence,
+    distance_name: str,
+    num_medoids: int = 8,
+    num_iterations: int = 5,
+    sample_size: int = 200,
+    seed: int = 0,
+) -> List:
+    """A light-weight k-medoids over a subsample of the dataset.
+
+    Exact k-medoids is quadratic; the paper only needs representative medoids
+    to measure "far from the data", so a PAM-style refinement over a uniform
+    subsample is sufficient and keeps the experiment fast.
+    """
+    rng = np.random.default_rng(seed)
+    distance = get_distance(distance_name)
+    population = len(records)
+    sample_ids = rng.choice(population, size=min(sample_size, population), replace=False)
+    sample = [records[int(i)] for i in sample_ids]
+    medoid_ids = rng.choice(len(sample), size=min(num_medoids, len(sample)), replace=False)
+    medoids = [sample[int(i)] for i in medoid_ids]
+
+    for _ in range(num_iterations):
+        # Assign each sample point to its nearest medoid.
+        assignment = np.zeros(len(sample), dtype=np.int64)
+        for index, record in enumerate(sample):
+            distances = [distance(record, medoid) for medoid in medoids]
+            assignment[index] = int(np.argmin(distances))
+        # For each cluster, pick the member minimizing total distance to the others.
+        new_medoids = []
+        for medoid_index in range(len(medoids)):
+            member_ids = np.nonzero(assignment == medoid_index)[0]
+            if member_ids.size == 0:
+                new_medoids.append(medoids[medoid_index])
+                continue
+            members = [sample[int(i)] for i in member_ids]
+            costs = [
+                sum(distance(candidate, other) for other in members) for candidate in members
+            ]
+            new_medoids.append(members[int(np.argmin(costs))])
+        medoids = new_medoids
+    return medoids
+
+
+def _random_record_like(dataset: Dataset, rng: np.random.Generator):
+    """Draw one random record of the dataset's data type (paper §9.10 recipes)."""
+    name = dataset.distance_name
+    if name == "hamming":
+        dimension = int(dataset.extra.get("dimension", len(dataset.records[0])))
+        return rng.integers(0, 2, size=dimension).astype(np.uint8)
+    if name == "edit":
+        alphabet = dataset.extra.get("alphabet") or string.ascii_lowercase
+        lengths = [len(record) for record in dataset.records]
+        length = int(rng.integers(min(lengths), max(lengths) + 1))
+        return "".join(alphabet[int(rng.integers(0, len(alphabet)))] for _ in range(length))
+    if name == "jaccard":
+        universe = int(dataset.extra.get("universe_size", 100))
+        sizes = [len(record) for record in dataset.records]
+        size = int(rng.integers(max(1, min(sizes)), max(sizes) + 1))
+        return frozenset(int(v) for v in rng.choice(universe, size=min(size, universe), replace=False))
+    if name == "euclidean":
+        dimension = int(dataset.extra.get("dimension", len(dataset.records[0])))
+        vector = rng.uniform(-1.0, 1.0, size=dimension)
+        if dataset.extra.get("normalized", False):
+            norm = np.linalg.norm(vector)
+            vector = vector / norm if norm > 0 else vector
+        return vector
+    raise KeyError(f"no random-record recipe for distance {name!r}")
+
+
+def generate_out_of_dataset_queries(
+    dataset: Dataset,
+    num_queries: int = 50,
+    num_candidates: int = 250,
+    num_medoids: int = 8,
+    seed: int = 0,
+) -> List:
+    """Generate queries that significantly differ from the dataset (paper §9.10).
+
+    Candidates are random records of the same type, filtered to exclude exact
+    dataset members, ranked by the sum of squared distances to the k-medoids,
+    and the top ``num_queries`` are returned.
+    """
+    rng = np.random.default_rng(seed)
+    distance = get_distance(dataset.distance_name)
+    medoids = k_medoids(dataset.records, dataset.distance_name, num_medoids=num_medoids, seed=seed)
+
+    if dataset.distance_name == "hamming":
+        existing = {np.asarray(record, dtype=np.uint8).tobytes() for record in dataset.records}
+
+        def is_member(candidate) -> bool:
+            return np.asarray(candidate, dtype=np.uint8).tobytes() in existing
+
+    elif dataset.distance_name == "euclidean":
+        def is_member(candidate) -> bool:
+            return False  # continuous vectors: exact collision has probability ~0
+    else:
+        existing = set(dataset.records) if dataset.distance_name == "edit" else {
+            frozenset(record) for record in dataset.records
+        }
+
+        def is_member(candidate) -> bool:
+            return candidate in existing
+
+    candidates = []
+    attempts = 0
+    while len(candidates) < num_candidates and attempts < num_candidates * 10:
+        attempts += 1
+        candidate = _random_record_like(dataset, rng)
+        if not is_member(candidate):
+            candidates.append(candidate)
+
+    scores = [
+        sum(distance(candidate, medoid) ** 2 for medoid in medoids) for candidate in candidates
+    ]
+    ranked = np.argsort(scores)[::-1]
+    return [candidates[int(i)] for i in ranked[:num_queries]]

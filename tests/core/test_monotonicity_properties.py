@@ -1,0 +1,77 @@
+"""Property-based tests of CardNet's headline guarantee: monotonicity in θ.
+
+Lemma 1/2 of the paper: with a monotone threshold transform and non-negative
+deterministic per-distance decoders, the estimate is monotonically increasing
+in the original threshold — for *any* parameters, trained or not.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CardNet, CardNetConfig
+
+
+def build_model(seed: int, accelerated: bool, tau_max: int = 6) -> CardNet:
+    config = CardNetConfig(
+        tau_max=tau_max,
+        vae_latent_dimension=4,
+        vae_hidden_sizes=(8,),
+        distance_embedding_dimension=3,
+        embedding_dimension=6,
+        encoder_hidden_sizes=(10,),
+        accelerated=accelerated,
+        seed=seed,
+    )
+    return CardNet(input_dimension=10, config=config)
+
+
+binary_records = st.lists(st.integers(0, 1), min_size=10, max_size=10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(binary_records, st.integers(0, 100))
+def test_untrained_cardnet_is_monotone(record, seed):
+    model = build_model(seed % 5, accelerated=False)
+    features = np.asarray(record, dtype=float)[None, :]
+    curve = model.estimate_curve(features)[0]
+    assert np.all(np.diff(curve) >= -1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(binary_records, st.integers(0, 100))
+def test_untrained_accelerated_cardnet_is_monotone(record, seed):
+    model = build_model(seed % 5, accelerated=True)
+    features = np.asarray(record, dtype=float)[None, :]
+    curve = model.estimate_curve(features)[0]
+    assert np.all(np.diff(curve) >= -1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(binary_records, st.integers(0, 6), st.integers(0, 6))
+def test_estimates_ordered_by_tau(record, tau_a, tau_b):
+    model = build_model(seed=3, accelerated=False)
+    features = np.asarray(record, dtype=float)[None, :]
+    low, high = sorted([tau_a, tau_b])
+    low_estimate = model.estimate(features, np.array([low]))[0]
+    high_estimate = model.estimate(features, np.array([high]))[0]
+    assert low_estimate <= high_estimate + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(binary_records)
+def test_estimates_nonnegative(record):
+    model = build_model(seed=1, accelerated=True)
+    features = np.asarray(record, dtype=float)[None, :]
+    assert np.all(model.estimate_curve(features) >= 0.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(binary_records, min_size=2, max_size=5))
+def test_batch_and_single_estimates_agree(records):
+    model = build_model(seed=2, accelerated=False)
+    features = np.asarray(records, dtype=float)
+    taus = np.full(len(records), 4)
+    batch = model.estimate(features, taus)
+    singles = [model.estimate(row[None, :], np.array([4]))[0] for row in features]
+    assert np.allclose(batch, singles, atol=1e-9)

@@ -1,0 +1,188 @@
+"""Unit tests for synthetic dataset generators, registry, relations, and updates."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_REGISTRY,
+    DEFAULT_DATASETS,
+    apply_operation,
+    apply_stream,
+    generate_update_stream,
+    list_datasets,
+    load_dataset,
+    make_binary_dataset,
+    make_multi_attribute_relation,
+    make_set_dataset,
+    make_string_dataset,
+    make_vector_dataset,
+)
+from repro.datasets.updates import UpdateOperation
+
+
+class TestBinaryDataset:
+    def test_shape_and_dtype(self):
+        dataset = make_binary_dataset(num_records=100, dimension=16, seed=0)
+        assert dataset.records.shape == (100, 16)
+        assert set(np.unique(dataset.records)) <= {0, 1}
+
+    def test_deterministic_given_seed(self):
+        a = make_binary_dataset(num_records=50, dimension=8, seed=3)
+        b = make_binary_dataset(num_records=50, dimension=8, seed=3)
+        assert np.array_equal(a.records, b.records)
+
+    def test_different_seeds_differ(self):
+        a = make_binary_dataset(num_records=50, dimension=8, seed=3)
+        b = make_binary_dataset(num_records=50, dimension=8, seed=4)
+        assert not np.array_equal(a.records, b.records)
+
+    def test_cluster_labels_cover_all_records(self):
+        dataset = make_binary_dataset(num_records=80, dimension=8, num_clusters=4, seed=1)
+        assert len(dataset.cluster_labels) == 80
+        assert dataset.num_clusters == 4
+
+    def test_cluster_sizes_sorted_descending(self):
+        dataset = make_binary_dataset(num_records=100, dimension=8, num_clusters=5, seed=1)
+        sizes = dataset.cluster_sizes()
+        assert list(sizes) == sorted(sizes, reverse=True)
+        assert sizes.sum() == 100
+
+    def test_skew_produces_unequal_clusters(self):
+        dataset = make_binary_dataset(
+            num_records=200, dimension=8, num_clusters=4, cluster_skew=2.0, seed=1
+        )
+        sizes = dataset.cluster_sizes()
+        assert sizes[0] > sizes[-1]
+
+    def test_default_theta_max(self):
+        dataset = make_binary_dataset(num_records=20, dimension=40, seed=0)
+        assert dataset.theta_max == pytest.approx(12)
+
+
+class TestStringDataset:
+    def test_records_are_strings(self):
+        dataset = make_string_dataset(num_records=60, seed=0)
+        assert all(isinstance(record, str) for record in dataset.records)
+
+    def test_alphabet_respected(self):
+        dataset = make_string_dataset(num_records=60, alphabet="xyz", seed=0)
+        assert set("".join(dataset.records)) <= set("xyz")
+
+    def test_max_length_metadata(self):
+        dataset = make_string_dataset(num_records=60, seed=0)
+        assert dataset.extra["max_length"] == max(len(r) for r in dataset.records)
+
+    def test_deterministic(self):
+        a = make_string_dataset(num_records=30, seed=9)
+        b = make_string_dataset(num_records=30, seed=9)
+        assert a.records == b.records
+
+
+class TestSetDataset:
+    def test_records_are_frozensets(self):
+        dataset = make_set_dataset(num_records=50, seed=0)
+        assert all(isinstance(record, frozenset) for record in dataset.records)
+
+    def test_elements_within_universe(self):
+        dataset = make_set_dataset(num_records=50, universe_size=30, seed=0)
+        assert all(0 <= element < 30 for record in dataset.records for element in record)
+
+    def test_no_empty_records(self):
+        dataset = make_set_dataset(num_records=50, seed=0)
+        assert all(len(record) > 0 for record in dataset.records)
+
+
+class TestVectorDataset:
+    def test_normalized_rows(self):
+        dataset = make_vector_dataset(num_records=40, dimension=8, seed=0)
+        norms = np.linalg.norm(dataset.records, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_unnormalized_option(self):
+        dataset = make_vector_dataset(num_records=40, dimension=8, normalize=False, seed=0)
+        norms = np.linalg.norm(dataset.records, axis=1)
+        assert not np.allclose(norms, 1.0)
+
+    def test_clusters_are_tighter_than_random(self):
+        dataset = make_vector_dataset(num_records=100, dimension=8, cluster_std=0.05, seed=0)
+        labels = dataset.cluster_labels
+        records = dataset.records
+        same_cluster = []
+        for cluster in range(dataset.num_clusters):
+            members = records[labels == cluster]
+            if len(members) > 1:
+                same_cluster.append(np.linalg.norm(members[0] - members[1]))
+        overall = np.linalg.norm(records[0] - records[50])
+        assert np.mean(same_cluster) < overall + 1.0  # sanity: intra-cluster is small
+
+
+class TestRegistry:
+    def test_all_registered_datasets_load(self):
+        for name in list_datasets():
+            dataset = load_dataset(name, seed=0)
+            assert len(dataset) > 0
+            assert dataset.name == name
+
+    def test_default_datasets_cover_four_distances(self):
+        distances = {load_dataset(name).distance_name for name in DEFAULT_DATASETS}
+        assert distances == {"hamming", "edit", "jaccard", "euclidean"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("not-a-dataset")
+
+    def test_registry_and_list_agree(self):
+        assert sorted(DATASET_REGISTRY) == list_datasets()
+
+
+class TestRelations:
+    def test_attributes_share_rows(self):
+        relation = make_multi_attribute_relation(num_records=50, seed=0)
+        for matrix in relation.attributes.values():
+            assert matrix.shape[0] == 50
+
+    def test_attribute_names(self):
+        relation = make_multi_attribute_relation(
+            num_records=20, attribute_dims=(4, 4), attribute_names=("a", "b"), seed=0
+        )
+        assert relation.attribute_names == ["a", "b"]
+
+    def test_mismatched_dims_and_names_raise(self):
+        with pytest.raises(ValueError):
+            make_multi_attribute_relation(attribute_dims=(4,), attribute_names=("a", "b"))
+
+
+class TestUpdates:
+    def test_stream_is_deterministic(self, binary_dataset):
+        a = generate_update_stream(binary_dataset, num_operations=10, seed=5)
+        b = generate_update_stream(binary_dataset, num_operations=10, seed=5)
+        assert [op.kind for op in a] == [op.kind for op in b]
+
+    def test_insert_grows_dataset(self, binary_dataset):
+        records = list(binary_dataset.records)
+        operation = UpdateOperation("insert", [records[0], records[1]])
+        updated = apply_operation(records, operation)
+        assert len(updated) == len(records) + 2
+
+    def test_delete_shrinks_dataset(self, binary_dataset):
+        records = list(binary_dataset.records)
+        operation = UpdateOperation("delete", [0, 1, 2])
+        updated = apply_operation(records, operation)
+        assert len(updated) == len(records) - 3
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateOperation("upsert", [])
+
+    def test_apply_stream_tracks_sizes(self, binary_dataset):
+        operations = generate_update_stream(
+            binary_dataset, num_operations=8, records_per_operation=3, seed=2
+        )
+        final, sizes = apply_stream(binary_dataset.records, operations)
+        assert len(sizes) == 8
+        assert sizes[-1] == len(final)
+
+    def test_delete_out_of_range_is_ignored(self):
+        records = [1, 2, 3]
+        updated = apply_operation(records, UpdateOperation("delete", [10]))
+        assert updated == records

@@ -1,0 +1,79 @@
+"""Property-based tests for distance-function axioms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances import (
+    EuclideanDistance,
+    HammingDistance,
+    JaccardDistance,
+    levenshtein,
+)
+
+binary_vectors = st.lists(st.integers(0, 1), min_size=8, max_size=8)
+short_strings = st.text(alphabet="abcd", min_size=0, max_size=8)
+small_sets = st.frozensets(st.integers(0, 15), max_size=8)
+real_vectors = st.lists(
+    st.floats(min_value=-2.0, max_value=2.0, allow_nan=False), min_size=4, max_size=4
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(binary_vectors, binary_vectors)
+def test_hamming_symmetry_and_identity(x, y):
+    distance = HammingDistance()
+    assert distance.distance(x, y) == distance.distance(y, x)
+    assert distance.distance(x, x) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(binary_vectors, binary_vectors, binary_vectors)
+def test_hamming_triangle_inequality(x, y, z):
+    distance = HammingDistance()
+    assert distance.distance(x, z) <= distance.distance(x, y) + distance.distance(y, z)
+
+
+@settings(max_examples=40, deadline=None)
+@given(short_strings, short_strings)
+def test_edit_symmetry_and_identity(x, y):
+    assert levenshtein(x, y) == levenshtein(y, x)
+    assert levenshtein(x, x) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(short_strings, short_strings, short_strings)
+def test_edit_triangle_inequality(x, y, z):
+    assert levenshtein(x, z) <= levenshtein(x, y) + levenshtein(y, z)
+
+
+@settings(max_examples=40, deadline=None)
+@given(short_strings, short_strings)
+def test_edit_bounded_by_max_length(x, y):
+    assert levenshtein(x, y) <= max(len(x), len(y))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_sets, small_sets)
+def test_jaccard_range_and_symmetry(x, y):
+    distance = JaccardDistance()
+    value = distance.distance(x, y)
+    assert 0.0 <= value <= 1.0
+    assert value == distance.distance(y, x)
+    assert distance.distance(x, x) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(real_vectors, real_vectors)
+def test_euclidean_symmetry_and_nonnegativity(x, y):
+    distance = EuclideanDistance()
+    value = distance.distance(x, y)
+    assert value >= 0.0
+    assert np.isclose(value, distance.distance(y, x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(real_vectors, real_vectors, real_vectors)
+def test_euclidean_triangle_inequality(x, y, z):
+    distance = EuclideanDistance()
+    assert distance.distance(x, z) <= distance.distance(x, y) + distance.distance(y, z) + 1e-9

@@ -1,0 +1,206 @@
+"""Unit tests for feature extraction (paper §4 case studies)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import HammingDistance, levenshtein
+from repro.featurization import (
+    EditFeatureExtractor,
+    HammingFeatureExtractor,
+    MinHashJaccardFeatureExtractor,
+    PStableEuclideanFeatureExtractor,
+    build_feature_extractor,
+    collision_probability,
+    proportional_threshold_map,
+)
+
+
+class TestThresholdMap:
+    def test_zero_maps_to_zero(self):
+        assert proportional_threshold_map(0.0, 1.0, 16) == 0
+
+    def test_max_maps_to_tau_max(self):
+        assert proportional_threshold_map(1.0, 1.0, 16) == 16
+
+    def test_monotone(self):
+        values = [proportional_threshold_map(theta, 1.0, 16) for theta in np.linspace(0, 1, 50)]
+        assert values == sorted(values)
+
+    def test_zero_theta_max(self):
+        assert proportional_threshold_map(0.5, 0.0, 16) == 0
+
+
+class TestHammingFeature:
+    def test_identity_on_binary(self):
+        extractor = HammingFeatureExtractor(dimension=8, theta_max=4)
+        record = np.array([1, 0, 1, 1, 0, 0, 1, 0])
+        assert np.array_equal(extractor.transform_record(record), record.astype(float))
+
+    def test_threshold_identity_when_small(self):
+        extractor = HammingFeatureExtractor(dimension=8, theta_max=4, tau_max=8)
+        assert extractor.transform_threshold(3) == 3
+
+    def test_threshold_proportional_when_large(self):
+        extractor = HammingFeatureExtractor(dimension=64, theta_max=32, tau_max=16)
+        assert extractor.transform_threshold(32) == 16
+        assert extractor.transform_threshold(16) == 8
+
+    def test_rejects_wrong_dimension(self):
+        extractor = HammingFeatureExtractor(dimension=8, theta_max=4)
+        with pytest.raises(ValueError):
+            extractor.transform_record(np.zeros(9))
+
+    def test_rejects_out_of_range_threshold(self):
+        extractor = HammingFeatureExtractor(dimension=8, theta_max=4)
+        with pytest.raises(ValueError):
+            extractor.transform_threshold(5.0)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            HammingFeatureExtractor(dimension=0, theta_max=4)
+
+
+class TestEditFeature:
+    def test_dimension_formula(self):
+        extractor = EditFeatureExtractor(alphabet="abc", max_length=5, theta_max=2, window=1)
+        assert extractor.dimension == (5 + 2 * 1) * 3
+
+    def test_paper_example(self):
+        # Paper §4.2: x = "abc", Σ = {a,b,c,d}, l_max = 4, τ_max(window) = 1
+        extractor = EditFeatureExtractor(alphabet="abcd", max_length=4, theta_max=1, window=1)
+        vector = extractor.transform_record("abc")
+        groups = vector.reshape(4, -1)
+        assert np.array_equal(groups[0], [1, 1, 1, 0, 0, 0])  # 'a' at position 0
+        assert np.array_equal(groups[1], [0, 1, 1, 1, 0, 0])  # 'b' at position 1
+        assert np.array_equal(groups[2], [0, 0, 1, 1, 1, 0])  # 'c' at position 2
+        assert np.array_equal(groups[3], [0, 0, 0, 0, 0, 0])  # 'd' absent
+
+    def test_bounding_property(self):
+        """ed(x, y) <= θ implies Hamming(h(x), h(y)) <= θ · (4·window + 2)."""
+        extractor = EditFeatureExtractor(alphabet="abcd", max_length=12, theta_max=4, window=2)
+        hamming = HammingDistance()
+        pairs = [("abca", "abcab"), ("aabb", "abab"), ("dcba", "dcba"), ("abcd", "badc")]
+        for x, y in pairs:
+            edit = levenshtein(x, y)
+            hd = hamming.distance(extractor.transform_record(x), extractor.transform_record(y))
+            assert hd <= edit * (4 * extractor.window + 2)
+
+    def test_unknown_characters_ignored(self):
+        extractor = EditFeatureExtractor(alphabet="ab", max_length=4, theta_max=2, window=1)
+        vector = extractor.transform_record("azb")
+        assert vector.sum() > 0  # 'a' and 'b' still encoded
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            EditFeatureExtractor(alphabet="", max_length=4, theta_max=2)
+
+
+class TestMinHashFeature:
+    def test_one_hot_structure(self):
+        extractor = MinHashJaccardFeatureExtractor(
+            universe_size=50, theta_max=0.4, num_permutations=8, bits_per_hash=2, seed=0
+        )
+        vector = extractor.transform_record({1, 5, 9})
+        blocks = vector.reshape(8, 4)
+        assert np.all(blocks.sum(axis=1) == 1.0)
+
+    def test_identical_sets_identical_vectors(self):
+        extractor = MinHashJaccardFeatureExtractor(universe_size=50, theta_max=0.4, seed=0)
+        a = extractor.transform_record({1, 2, 3})
+        b = extractor.transform_record({3, 2, 1})
+        assert np.array_equal(a, b)
+
+    def test_expected_hamming_tracks_jaccard_distance(self):
+        """Similar sets should land closer in Hamming space than dissimilar ones."""
+        extractor = MinHashJaccardFeatureExtractor(
+            universe_size=100, theta_max=0.4, num_permutations=64, seed=0
+        )
+        hamming = HammingDistance()
+        base = frozenset(range(20))
+        similar = frozenset(list(range(18)) + [50, 51])      # J-dist ~ 0.18
+        dissimilar = frozenset(range(60, 80))                  # J-dist = 1.0
+        near = hamming.distance(extractor.transform_record(base), extractor.transform_record(similar))
+        far = hamming.distance(extractor.transform_record(base), extractor.transform_record(dissimilar))
+        assert near < far
+
+    def test_threshold_monotone(self):
+        extractor = MinHashJaccardFeatureExtractor(universe_size=50, theta_max=0.4, tau_max=16)
+        taus = [extractor.transform_threshold(t) for t in np.linspace(0, 0.4, 20)]
+        assert taus == sorted(taus)
+        assert taus[0] == 0 and taus[-1] == 16
+
+    def test_empty_set_is_handled(self):
+        extractor = MinHashJaccardFeatureExtractor(universe_size=50, theta_max=0.4, seed=0)
+        vector = extractor.transform_record(frozenset())
+        assert vector.shape == (extractor.dimension,)
+
+
+class TestPStableFeature:
+    def test_collision_probability_decreasing(self):
+        values = [collision_probability(theta, 0.5) for theta in np.linspace(0.01, 2.0, 30)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_collision_probability_at_zero(self):
+        assert collision_probability(0.0, 0.5) == 1.0
+
+    def test_one_hot_structure(self):
+        extractor = PStableEuclideanFeatureExtractor(
+            input_dimension=8, theta_max=0.8, num_hashes=16, seed=0
+        )
+        vector = extractor.transform_record(np.random.default_rng(0).normal(size=8))
+        blocks = vector.reshape(16, extractor.block_size)
+        assert np.all(blocks.sum(axis=1) == 1.0)
+
+    def test_nearby_vectors_closer_in_hamming(self):
+        rng = np.random.default_rng(1)
+        extractor = PStableEuclideanFeatureExtractor(
+            input_dimension=8, theta_max=2.0, num_hashes=64, bucket_width=1.0, seed=0
+        )
+        hamming = HammingDistance()
+        base = rng.normal(size=8)
+        near = base + rng.normal(scale=0.05, size=8)
+        far = base + rng.normal(scale=2.0, size=8)
+        near_hd = hamming.distance(extractor.transform_record(base), extractor.transform_record(near))
+        far_hd = hamming.distance(extractor.transform_record(base), extractor.transform_record(far))
+        assert near_hd <= far_hd
+
+    def test_threshold_monotone_and_bounded(self):
+        extractor = PStableEuclideanFeatureExtractor(input_dimension=8, theta_max=0.8, tau_max=16)
+        taus = [extractor.transform_threshold(t) for t in np.linspace(0, 0.8, 30)]
+        assert taus == sorted(taus)
+        assert 0 <= min(taus) and max(taus) <= 16
+
+    def test_rejects_wrong_dimension(self):
+        extractor = PStableEuclideanFeatureExtractor(input_dimension=8, theta_max=0.8)
+        with pytest.raises(ValueError):
+            extractor.transform_record(np.zeros(9))
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "fixture_name,expected_type",
+        [
+            ("binary_dataset", HammingFeatureExtractor),
+            ("string_dataset", EditFeatureExtractor),
+            ("set_dataset", MinHashJaccardFeatureExtractor),
+            ("vector_dataset", PStableEuclideanFeatureExtractor),
+        ],
+    )
+    def test_builds_matching_extractor(self, request, fixture_name, expected_type):
+        dataset = request.getfixturevalue(fixture_name)
+        extractor = build_feature_extractor(dataset)
+        assert isinstance(extractor, expected_type)
+        # The extractor must accept the dataset's own records and thresholds.
+        vector = extractor.transform_record(dataset.records[0])
+        assert vector.shape == (extractor.dimension,)
+        assert 0 <= extractor.transform_threshold(dataset.theta_max) <= extractor.tau_max
+
+    def test_transform_records_batch(self, binary_dataset):
+        extractor = build_feature_extractor(binary_dataset)
+        matrix = extractor.transform_records(list(binary_dataset.records[:5]))
+        assert matrix.shape == (5, extractor.dimension)
+
+    def test_available_taus_sorted(self, set_dataset):
+        extractor = build_feature_extractor(set_dataset)
+        taus = extractor.available_taus()
+        assert taus == sorted(taus)

@@ -1,0 +1,56 @@
+"""Property-based tests for feature extraction invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances import HammingDistance, levenshtein
+from repro.featurization import (
+    EditFeatureExtractor,
+    HammingFeatureExtractor,
+    MinHashJaccardFeatureExtractor,
+    PStableEuclideanFeatureExtractor,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=0.0, max_value=10.0), st.floats(min_value=0.0, max_value=10.0))
+def test_hamming_threshold_map_monotone(theta_a, theta_b):
+    extractor = HammingFeatureExtractor(dimension=16, theta_max=10, tau_max=6)
+    low, high = sorted([theta_a, theta_b])
+    assert extractor.transform_threshold(low) <= extractor.transform_threshold(high)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.text(alphabet="abc", min_size=1, max_size=8), st.text(alphabet="abc", min_size=1, max_size=8))
+def test_edit_bounding_property(x, y):
+    extractor = EditFeatureExtractor(alphabet="abc", max_length=10, theta_max=5, window=2)
+    hamming = HammingDistance()
+    bits_x = extractor.transform_record(x)
+    bits_y = extractor.transform_record(y)
+    assert hamming.distance(bits_x, bits_y) <= levenshtein(x, y) * (4 * extractor.window + 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.frozensets(st.integers(0, 49), min_size=1, max_size=10))
+def test_minhash_vector_is_valid_one_hot(record):
+    extractor = MinHashJaccardFeatureExtractor(
+        universe_size=50, theta_max=0.4, num_permutations=16, bits_per_hash=2, seed=0
+    )
+    vector = extractor.transform_record(record)
+    blocks = vector.reshape(extractor.num_permutations, extractor.block_size)
+    assert np.all(blocks.sum(axis=1) == 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-1.0, max_value=1.0, allow_nan=False), min_size=6, max_size=6),
+    st.floats(min_value=0.0, max_value=0.8),
+    st.floats(min_value=0.0, max_value=0.8),
+)
+def test_pstable_threshold_monotone(vector, theta_a, theta_b):
+    extractor = PStableEuclideanFeatureExtractor(input_dimension=6, theta_max=0.8, tau_max=12, seed=0)
+    low, high = sorted([theta_a, theta_b])
+    assert extractor.transform_threshold(low) <= extractor.transform_threshold(high)
+    bits = extractor.transform_record(vector)
+    assert bits.sum() == extractor.num_hashes  # one-hot per hash function

@@ -1,0 +1,83 @@
+"""Integration tests: full pipelines across modules (dataset → workload → models → metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_estimators
+from repro.core import CardNetEstimator
+from repro.datasets import load_dataset
+from repro.metrics import AccuracyReport, mean_q_error, monotonicity_violation_rate
+from repro.workloads import build_workload, generate_out_of_dataset_queries, label_queries
+from repro.selection import default_selector
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """A small but fully realistic pipeline on the registered Hamming dataset."""
+    dataset = load_dataset("HM-SynthImageNet", seed=0)
+    workload = build_workload(dataset, query_fraction=0.03, num_thresholds=6, seed=1)
+    cardnet = CardNetEstimator.for_dataset(dataset, epochs=12, vae_pretrain_epochs=3, seed=0)
+    cardnet.fit(workload.train, workload.validation)
+    return dataset, workload, cardnet
+
+
+class TestEndToEndCardNet:
+    def test_workload_has_all_splits(self, pipeline):
+        _, workload, _ = pipeline
+        summary = workload.summary()
+        assert all(summary[key] > 0 for key in ("train", "validation", "test"))
+
+    def test_cardnet_beats_naive_mean_estimator(self, pipeline):
+        dataset, workload, cardnet = pipeline
+        from repro.baselines import MeanEstimator
+
+        mean = MeanEstimator(theta_max=dataset.theta_max).fit(workload.train)
+        actual = [e.cardinality for e in workload.test]
+        cardnet_q = mean_q_error(actual, cardnet.estimate_many(workload.test))
+        mean_q = mean_q_error(actual, mean.estimate_many(workload.test))
+        assert cardnet_q < mean_q
+
+    def test_cardnet_monotone_on_test_queries(self, pipeline):
+        dataset, workload, cardnet = pipeline
+        thresholds = np.arange(0, int(dataset.theta_max) + 1, dtype=float)
+        for example in workload.test[:5]:
+            estimates = [[cardnet.estimate(example.record, t)] for t in thresholds]
+            assert monotonicity_violation_rate(estimates) == 0.0
+
+    def test_out_of_dataset_queries_get_finite_estimates(self, pipeline):
+        dataset, _, cardnet = pipeline
+        queries = generate_out_of_dataset_queries(dataset, num_queries=5, num_candidates=40, seed=3)
+        for query in queries:
+            estimate = cardnet.estimate(query, dataset.theta_max / 2)
+            assert np.isfinite(estimate) and estimate >= 0.0
+
+    def test_report_generation(self, pipeline):
+        _, workload, cardnet = pipeline
+        actual = [e.cardinality for e in workload.test]
+        report = AccuracyReport.from_predictions(actual, cardnet.estimate_many(workload.test))
+        assert report.mse >= 0.0 and report.mean_q_error >= 1.0
+
+
+class TestEndToEndComparison:
+    def test_estimator_suite_runs_on_set_data(self, set_dataset, set_workload):
+        """A compressed version of the paper's Table 3 loop on one dataset."""
+        names = ["DB-US", "TL-XGB", "TL-KDE", "DL-DNN"]
+        estimators = build_estimators(names, set_dataset, seed=0, epochs=3)
+        actual = [e.cardinality for e in set_workload.test]
+        results = {}
+        for name, estimator in estimators.items():
+            estimator.fit(set_workload.train, set_workload.validation)
+            results[name] = mean_q_error(actual, estimator.estimate_many(set_workload.test))
+        assert all(np.isfinite(value) and value >= 1.0 for value in results.values())
+
+    def test_labels_consistent_across_selectors(self, vector_dataset):
+        """Label generation must be identical whichever exact algorithm produced it."""
+        from repro.selection import LinearScanSelector
+        from repro.distances import EuclideanDistance
+
+        fast = default_selector("euclidean", vector_dataset.records)
+        slow = LinearScanSelector(vector_dataset.records, EuclideanDistance())
+        queries = [vector_dataset.records[i] for i in (0, 7, 21)]
+        fast_labels = label_queries(queries, [0.2, 0.5, 0.8], fast)
+        slow_labels = label_queries(queries, [0.2, 0.5, 0.8], slow)
+        assert [e.cardinality for e in fast_labels] == [e.cardinality for e in slow_labels]

@@ -1,0 +1,76 @@
+"""Property-based tests (hypothesis) for the autodiff engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor
+from repro.nn.gradcheck import check_gradients
+
+finite_floats = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(shape):
+    return arrays(dtype=np.float64, shape=shape, elements=finite_floats)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays((3,)), small_arrays((3,)))
+def test_addition_commutes(a, b):
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    assert np.allclose(left, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays((2, 3)))
+def test_relu_idempotent(a):
+    once = Tensor(a).relu().data
+    twice = Tensor(a).relu().relu().data
+    assert np.allclose(once, twice)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays((2, 3)))
+def test_sum_matches_numpy(a):
+    assert np.isclose(Tensor(a).sum().item(), a.sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays((4,)))
+def test_sigmoid_bounded(a):
+    out = Tensor(a).sigmoid().data
+    assert np.all(out > 0.0) and np.all(out < 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays((3,)), small_arrays((3,)))
+def test_product_rule_gradient(a, b):
+    x = Tensor(a, requires_grad=True)
+    y = Tensor(b, requires_grad=True)
+    (x * y).sum().backward()
+    assert np.allclose(x.grad, b)
+    assert np.allclose(y.grad, a)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_arrays((2, 2)))
+def test_gradcheck_composite_expression(a):
+    x = Tensor(a, requires_grad=True)
+
+    def loss():
+        return ((x * x).relu() + x.sigmoid()).sum()
+
+    assert check_gradients(loss, [x], atol=1e-3, rtol=1e-2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays((3, 2)))
+def test_backward_linear_in_upstream_gradient(a):
+    # d(2·f)/dx == 2·df/dx
+    x1 = Tensor(a, requires_grad=True)
+    (x1.tanh().sum() * 2.0).backward()
+    x2 = Tensor(a, requires_grad=True)
+    x2.tanh().sum().backward()
+    assert np.allclose(x1.grad, 2.0 * x2.grad)

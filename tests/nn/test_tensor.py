@@ -1,0 +1,241 @@
+"""Unit tests for the autodiff Tensor: forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate, stack, where
+from repro.nn.gradcheck import check_gradients
+from repro.nn.tensor import _unbroadcast
+
+
+class TestForward:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar_broadcast(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]]) + 1.0
+        assert np.allclose(out.data, [[2.0, 3.0], [4.0, 5.0]])
+
+    def test_sub(self):
+        out = Tensor([5.0]) - Tensor([2.0])
+        assert np.allclose(out.data, [3.0])
+
+    def test_rsub(self):
+        out = 10.0 - Tensor([4.0])
+        assert np.allclose(out.data, [6.0])
+
+    def test_mul(self):
+        out = Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])
+        assert np.allclose(out.data, [8.0, 15.0])
+
+    def test_div(self):
+        out = Tensor([6.0]) / Tensor([3.0])
+        assert np.allclose(out.data, [2.0])
+
+    def test_rdiv(self):
+        out = 12.0 / Tensor([4.0])
+        assert np.allclose(out.data, [3.0])
+
+    def test_pow(self):
+        out = Tensor([2.0, 3.0]) ** 2
+        assert np.allclose(out.data, [4.0, 9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[1.0], [1.0]])
+        assert np.allclose((a @ b).data, [[3.0], [7.0]])
+
+    def test_neg(self):
+        assert np.allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_exp_log_roundtrip(self):
+        x = Tensor([0.5, 1.5])
+        assert np.allclose(x.exp().log().data, x.data)
+
+    def test_log1p(self):
+        assert np.allclose(Tensor([0.0, 1.0]).log1p().data, [0.0, np.log(2.0)])
+
+    def test_relu(self):
+        assert np.allclose(Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0])
+
+    def test_elu_positive_passthrough(self):
+        assert np.allclose(Tensor([1.0, 2.0]).elu().data, [1.0, 2.0])
+
+    def test_elu_negative(self):
+        out = Tensor([-1.0]).elu(alpha=1.0)
+        assert np.allclose(out.data, np.exp(-1.0) - 1.0)
+
+    def test_sigmoid_range(self):
+        out = Tensor([-10.0, 0.0, 10.0]).sigmoid()
+        assert np.all(out.data > 0.0) and np.all(out.data < 1.0)
+        assert np.isclose(out.data[1], 0.5)
+
+    def test_tanh(self):
+        assert np.allclose(Tensor([0.0]).tanh().data, [0.0])
+
+    def test_softplus_matches_numpy(self):
+        x = np.array([-3.0, 0.0, 3.0])
+        assert np.allclose(Tensor(x).softplus().data, np.logaddexp(0.0, x))
+
+    def test_clip(self):
+        out = Tensor([-1.0, 0.5, 2.0]).clip(0.0, 1.0)
+        assert np.allclose(out.data, [0.0, 0.5, 1.0])
+
+    def test_sum_axis(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]]).sum(axis=0)
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_sum_keepdims(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]]).sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_mean(self):
+        assert np.isclose(Tensor([[1.0, 3.0]]).mean().item(), 2.0)
+
+    def test_max_axis(self):
+        out = Tensor([[1.0, 5.0], [7.0, 2.0]]).max(axis=1)
+        assert np.allclose(out.data, [5.0, 7.0])
+
+    def test_reshape(self):
+        out = Tensor(np.arange(6.0)).reshape(2, 3)
+        assert out.shape == (2, 3)
+
+    def test_transpose(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]]).T
+        assert np.allclose(out.data, [[1.0, 3.0], [2.0, 4.0]])
+
+    def test_getitem(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]])[1]
+        assert np.allclose(out.data, [3.0, 4.0])
+
+    def test_item_scalar(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_concatenate(self):
+        out = concatenate([Tensor([[1.0]]), Tensor([[2.0]])], axis=1)
+        assert np.allclose(out.data, [[1.0, 2.0]])
+
+    def test_stack(self):
+        out = stack([Tensor([1.0, 2.0]), Tensor([3.0, 4.0])], axis=0)
+        assert out.shape == (2, 2)
+
+    def test_where(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        assert np.allclose(out.data, [1.0, 2.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x.detach()
+        assert not y.requires_grad
+
+    def test_len_and_size(self):
+        x = Tensor(np.zeros((3, 2)))
+        assert len(x) == 3
+        assert x.size == 6
+
+
+class TestBackward:
+    def test_backward_requires_scalar(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2.0).backward()
+
+    def test_add_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x + 3.0).sum().backward()
+        assert np.allclose(x.grad, [1.0, 1.0])
+
+    def test_mul_grad(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = Tensor([5.0], requires_grad=True)
+        (x * y).sum().backward()
+        assert np.allclose(x.grad, [5.0])
+        assert np.allclose(y.grad, [2.0])
+
+    def test_broadcast_grad_shape(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        bias = Tensor(np.ones(2), requires_grad=True)
+        (x + bias).sum().backward()
+        assert bias.grad.shape == (2,)
+        assert np.allclose(bias.grad, [3.0, 3.0])
+
+    def test_matmul_grad(self):
+        a = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        b = Tensor(np.array([[3.0], [4.0]]), requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, [[3.0, 4.0]])
+        assert np.allclose(b.grad, [[1.0], [2.0]])
+
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2.0 + x * 3.0
+        y.sum().backward()
+        assert np.allclose(x.grad, [5.0])
+
+    def test_relu_grad_zero_below(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        x.relu().sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0])
+
+    def test_getitem_grad_routes_to_slice(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        x[1:3].sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_concatenate_grad_splits(self):
+        a = Tensor([[1.0, 2.0]], requires_grad=True)
+        b = Tensor([[3.0]], requires_grad=True)
+        concatenate([a, b], axis=1).sum().backward()
+        assert np.allclose(a.grad, [[1.0, 1.0]])
+        assert np.allclose(b.grad, [[1.0]])
+
+    @pytest.mark.parametrize(
+        "function",
+        [
+            lambda x: (x * x).sum(),
+            lambda x: (x.exp()).sum(),
+            lambda x: (x.sigmoid()).sum(),
+            lambda x: (x.tanh()).sum(),
+            lambda x: (x.softplus()).sum(),
+            lambda x: (x ** 3).mean(),
+            lambda x: ((x + 2.0).log()).sum(),
+            lambda x: (x.elu()).sum(),
+        ],
+    )
+    def test_gradcheck_elementwise(self, function):
+        x = Tensor(np.array([0.3, -0.4, 1.2]), requires_grad=True)
+        assert check_gradients(lambda: function(x), [x])
+
+    def test_gradcheck_matmul_chain(self):
+        rng = np.random.default_rng(0)
+        w1 = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        w2 = Tensor(rng.normal(size=(4, 1)), requires_grad=True)
+        x = np.array([[0.5, -0.2, 0.3]])
+
+        def loss():
+            return ((Tensor(x) @ w1).relu() @ w2).sum()
+
+        assert check_gradients(loss, [w1, w2])
+
+    def test_gradcheck_max(self):
+        x = Tensor(np.array([[0.3, 0.9, -0.2]]), requires_grad=True)
+        assert check_gradients(lambda: x.max(axis=1).sum(), [x])
+
+
+class TestUnbroadcast:
+    def test_identity_when_shapes_match(self):
+        grad = np.ones((2, 3))
+        assert _unbroadcast(grad, (2, 3)).shape == (2, 3)
+
+    def test_leading_dim_summed(self):
+        grad = np.ones((4, 3))
+        assert np.allclose(_unbroadcast(grad, (3,)), [4.0, 4.0, 4.0])
+
+    def test_keepdim_axis_summed(self):
+        grad = np.ones((2, 3))
+        assert _unbroadcast(grad, (2, 1)).shape == (2, 1)

@@ -1,0 +1,175 @@
+"""Unit tests for the query-optimizer case studies (conjunctive + GPH)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KernelDensityEstimator, MeanEstimator
+from repro.optimizer import (
+    ConjunctiveQuery,
+    ConjunctiveQueryProcessor,
+    GPHQueryProcessor,
+    Predicate,
+    exact_part_estimator,
+    generate_conjunctive_queries,
+    histogram_part_estimator,
+    mean_part_estimator,
+    model_part_estimator,
+    run_conjunctive_workload,
+)
+from repro.baselines.simple import ExactEstimator
+from repro.selection import BallIndexEuclideanSelector
+
+
+# --------------------------------------------------------------------------- #
+# Conjunctive queries
+# --------------------------------------------------------------------------- #
+class TestConjunctive:
+    @pytest.fixture(scope="class")
+    def processor(self, relation):
+        return ConjunctiveQueryProcessor(relation, num_pivots=8, seed=0)
+
+    @pytest.fixture(scope="class")
+    def queries(self, relation):
+        return generate_conjunctive_queries(relation, num_queries=8, seed=1)
+
+    @pytest.fixture(scope="class")
+    def exact_estimators(self, relation):
+        return {
+            attribute: ExactEstimator(BallIndexEuclideanSelector(matrix, num_pivots=8, seed=0))
+            for attribute, matrix in relation.attributes.items()
+        }
+
+    def test_queries_have_all_attributes(self, relation, queries):
+        for query in queries:
+            assert set(query.attributes()) == set(relation.attribute_names)
+
+    def test_answer_is_intersection(self, processor, queries):
+        query = queries[0]
+        answer = set(processor.answer(query))
+        for predicate in query.predicates:
+            assert answer <= set(processor.predicate_matches(predicate))
+
+    def test_execute_returns_correct_results(self, processor, queries, exact_estimators):
+        for query in queries[:4]:
+            execution = processor.execute(query, exact_estimators)
+            assert sorted(execution.result_ids) == processor.answer(query)
+
+    def test_exact_estimator_has_perfect_precision(self, processor, queries, exact_estimators):
+        report = run_conjunctive_workload(processor, queries, exact_estimators)
+        assert report.planning_precision == 1.0
+        assert report.num_queries == len(queries)
+
+    def test_better_estimator_fewer_candidates(self, relation, processor, queries, exact_estimators):
+        """The exact planner should examine no more candidates than a naive Mean planner."""
+        mean_estimators = {}
+        for attribute, matrix in relation.attributes.items():
+            estimator = MeanEstimator(theta_max=1.0, num_buckets=16)
+            # Fit on a few random predicate cardinalities for this attribute.
+            from repro.workloads import QueryExample
+
+            rng = np.random.default_rng(0)
+            examples = []
+            selector = BallIndexEuclideanSelector(matrix, num_pivots=8, seed=0)
+            for _ in range(20):
+                row = matrix[rng.integers(0, len(matrix))]
+                theta = float(rng.uniform(0.2, 0.5))
+                examples.append(QueryExample(row, theta, selector.cardinality(row, theta)))
+            mean_estimators[attribute] = estimator.fit(examples)
+        exact_report = run_conjunctive_workload(processor, queries, exact_estimators)
+        mean_report = run_conjunctive_workload(processor, queries, mean_estimators)
+        assert exact_report.total_candidates <= mean_report.total_candidates
+
+    def test_kde_planner_reasonable_precision(self, relation, processor, queries):
+        estimators = {
+            attribute: KernelDensityEstimator(matrix, "euclidean", sample_size=60, seed=0)
+            for attribute, matrix in relation.attributes.items()
+        }
+        report = run_conjunctive_workload(processor, queries, estimators)
+        assert 0.0 <= report.planning_precision <= 1.0
+        assert report.total_seconds > 0.0
+
+    def test_workload_report_accumulates(self, processor, queries, exact_estimators):
+        report = run_conjunctive_workload(processor, queries[:3], exact_estimators)
+        assert len(report.executions) == 3
+        assert report.total_candidates >= sum(len(e.result_ids) for e in report.executions)
+
+
+# --------------------------------------------------------------------------- #
+# GPH Hamming query processing
+# --------------------------------------------------------------------------- #
+class TestGPH:
+    @pytest.fixture(scope="class")
+    def records(self, binary_dataset):
+        return binary_dataset.records[:200]
+
+    @pytest.fixture(scope="class")
+    def processor(self, records):
+        return GPHQueryProcessor(records, part_size=8)
+
+    def test_num_parts(self, processor, records):
+        assert processor.num_parts == records.shape[1] // 8
+
+    def test_allocation_budget(self, processor):
+        assert processor.allocation_budget(10) == 10 - processor.num_parts + 1
+        assert processor.allocation_budget(0) == 0
+
+    def test_allocation_satisfies_pigeonhole(self, processor, records):
+        estimator = exact_part_estimator(processor, records)
+        query = records[0]
+        for threshold in (4, 8, 12):
+            allocation = processor.allocate(query, threshold, estimator)
+            assert sum(allocation) >= processor.allocation_budget(threshold)
+
+    @pytest.mark.parametrize("builder", ["exact", "mean", "histogram"])
+    def test_results_are_exact_for_every_estimator(self, processor, records, builder):
+        """Whatever the allocation quality, GPH must return the exact result set."""
+        if builder == "exact":
+            estimator = exact_part_estimator(processor, records)
+        elif builder == "mean":
+            estimator = mean_part_estimator(processor, records)
+        else:
+            estimator = histogram_part_estimator(processor, records, group_size=4)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            query = records[rng.integers(0, len(records))]
+            threshold = int(rng.integers(2, 10))
+            execution = processor.execute(query, threshold, estimator)
+            truth = int(
+                np.count_nonzero(np.count_nonzero(records != query[None, :], axis=1) <= threshold)
+            )
+            assert execution.num_results == truth
+            assert execution.num_candidates >= execution.num_results
+
+    def test_exact_allocation_never_worse_than_mean(self, processor, records):
+        """Cardinality-aware allocation should not produce more candidates than naive."""
+        exact = exact_part_estimator(processor, records)
+        naive = mean_part_estimator(processor, records)
+        rng = np.random.default_rng(1)
+        exact_total, naive_total = 0, 0
+        for _ in range(5):
+            query = records[rng.integers(0, len(records))]
+            threshold = int(rng.integers(6, 12))
+            exact_total += processor.execute(query, threshold, exact).num_candidates
+            naive_total += processor.execute(query, threshold, naive).num_candidates
+        assert exact_total <= naive_total
+
+    def test_model_part_estimator_adapter(self, processor, records):
+        class ConstantEstimator:
+            def estimate(self, record, theta):
+                return 1.0
+
+        adapter = model_part_estimator(processor, [ConstantEstimator()] * processor.num_parts)
+        assert adapter(0, records[0][:8], 2) == 1.0
+
+    def test_model_part_estimator_wrong_count(self, processor):
+        with pytest.raises(ValueError):
+            model_part_estimator(processor, [])
+
+    def test_execution_timing_fields(self, processor, records):
+        estimator = exact_part_estimator(processor, records)
+        execution = processor.execute(records[0], 6, estimator)
+        assert execution.allocation_seconds >= 0.0
+        assert execution.processing_seconds >= 0.0
+        assert execution.total_seconds == pytest.approx(
+            execution.allocation_seconds + execution.processing_seconds
+        )

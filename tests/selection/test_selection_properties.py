@@ -1,0 +1,56 @@
+"""Property-based tests: index selectors always agree with the linear scan."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances import EditDistance, HammingDistance, JaccardDistance
+from repro.selection import (
+    LinearScanSelector,
+    PackedHammingSelector,
+    PrefixFilterJaccardSelector,
+    QGramEditSelector,
+)
+
+binary_rows = st.lists(
+    st.lists(st.integers(0, 1), min_size=10, max_size=10), min_size=3, max_size=20
+)
+string_rows = st.lists(st.text(alphabet="abc", min_size=1, max_size=8), min_size=3, max_size=15)
+set_rows = st.lists(st.frozensets(st.integers(0, 12), min_size=1, max_size=6), min_size=3, max_size=15)
+
+
+@settings(max_examples=25, deadline=None)
+@given(binary_rows, st.integers(0, 10))
+def test_packed_hamming_equals_linear_scan(rows, threshold):
+    data = np.asarray(rows, dtype=np.uint8)
+    reference = LinearScanSelector(data, HammingDistance())
+    fast = PackedHammingSelector(data)
+    query = data[0]
+    assert fast.query(query, threshold) == reference.query(query, threshold)
+
+
+@settings(max_examples=20, deadline=None)
+@given(string_rows, st.integers(0, 4))
+def test_qgram_edit_equals_linear_scan(rows, threshold):
+    reference = LinearScanSelector(rows, EditDistance())
+    indexed = QGramEditSelector(rows, q=2)
+    query = rows[0]
+    assert sorted(indexed.query(query, threshold)) == sorted(reference.query(query, threshold))
+
+
+@settings(max_examples=20, deadline=None)
+@given(set_rows, st.floats(min_value=0.0, max_value=0.9))
+def test_prefix_filter_equals_linear_scan(rows, threshold):
+    reference = LinearScanSelector(rows, JaccardDistance())
+    indexed = PrefixFilterJaccardSelector(rows)
+    query = rows[0]
+    assert sorted(indexed.query(query, threshold)) == sorted(reference.query(query, threshold))
+
+
+@settings(max_examples=20, deadline=None)
+@given(binary_rows, st.integers(0, 9))
+def test_cardinality_monotone_in_threshold(rows, threshold):
+    data = np.asarray(rows, dtype=np.uint8)
+    selector = PackedHammingSelector(data)
+    query = data[0]
+    assert selector.cardinality(query, threshold) <= selector.cardinality(query, threshold + 1)
