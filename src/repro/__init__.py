@@ -8,20 +8,25 @@ Public API highlights
 * :mod:`repro.workloads` — query workload and label generation.
 * :mod:`repro.baselines` — every estimator the paper compares against.
 * :mod:`repro.optimizer` — the query-optimizer case studies (§9.11).
+* :mod:`repro.serving` — registry + micro-batching service + curve cache.
 """
 
 from .core import CardinalityEstimator, CardNet, CardNetConfig, CardNetEstimator
 from .datasets import DEFAULT_DATASETS, load_dataset
 from .metrics import AccuracyReport, mape, mean_q_error, mse
+from .serving import CurveCache, EstimationService, EstimatorRegistry
 from .workloads import Workload, build_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CardNet",
     "CardNetConfig",
     "CardNetEstimator",
     "CardinalityEstimator",
+    "EstimationService",
+    "EstimatorRegistry",
+    "CurveCache",
     "load_dataset",
     "DEFAULT_DATASETS",
     "build_workload",

@@ -19,6 +19,22 @@ from ..featurization.base import FeatureExtractor
 from ..workloads.examples import QueryExample
 
 
+def counts_within_thresholds(distance_matrix: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+    """Per-row counts of distances within each grid threshold: (rows, grid).
+
+    Sorts each row once and answers the whole grid by binary search, so no
+    (rows × grid × columns) boolean temporary is materialized — the shared
+    curve kernel for distance-matrix estimators (sampling, sketches).
+    Equivalent to ``count_nonzero(distances <= theta + 1e-12)`` per cell.
+    """
+    sorted_rows = np.sort(distance_matrix, axis=1)
+    thetas = np.asarray(thetas, dtype=np.float64)
+    curves = np.empty((sorted_rows.shape[0], len(thetas)))
+    for row, distances in enumerate(sorted_rows):
+        curves[row] = np.searchsorted(distances, thetas + 1e-12, side="right")
+    return curves
+
+
 class QueryFeaturizer:
     """Maps (record, θ) to the numeric inputs used by non-CardNet learned models."""
 
@@ -64,12 +80,30 @@ class QueryFeaturizer:
             return 0.0
         return float(np.clip(theta / self.theta_max, 0.0, 1.0))
 
+    def normalized_thetas(self, thetas: Sequence[float]) -> np.ndarray:
+        thetas = np.asarray(thetas, dtype=np.float64)
+        if self.theta_max <= 0:
+            return np.zeros_like(thetas)
+        return np.clip(thetas / self.theta_max, 0.0, 1.0)
+
     def features(self, record: Any, theta: float) -> np.ndarray:
         """Concatenated [record vector ; normalized threshold]."""
         return np.concatenate([self.record_vector(record), [self.normalized_theta(theta)]])
 
+    def record_matrix(self, records: Sequence[Any]) -> np.ndarray:
+        return np.stack([self.record_vector(record) for record in records])
+
+    def matrix_from(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        """Batch feature matrix for parallel lists of records and thresholds."""
+        return np.concatenate(
+            [self.record_matrix(records), self.normalized_thetas(thetas)[:, None]], axis=1
+        )
+
     def matrix(self, examples: Sequence[QueryExample]) -> np.ndarray:
-        return np.stack([self.features(example.record, example.theta) for example in examples])
+        return self.matrix_from(
+            [example.record for example in examples],
+            [example.theta for example in examples],
+        )
 
     def targets(self, examples: Sequence[QueryExample]) -> np.ndarray:
         return np.asarray([example.cardinality for example in examples], dtype=np.float64)

@@ -18,18 +18,23 @@ This module provides a faithful-in-spirit implementation of each:
 * :class:`LSHSamplingEuclideanEstimator` — p-stable LSH tables provide a
   query-biased candidate sample whose exact distances are combined with a
   uniform background sample, following the LSH-sampling local-density recipe.
+
+All four are batch-first: the per-query auxiliary state (group distributions,
+q-gram overlaps, sketches, candidate distances) is computed once per record
+and then answers every threshold vectorized, so whole-curve estimation costs
+barely more than a single threshold.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.interface import CardinalityEstimator
-from ..distances.hamming import pack_bits, packed_hamming_distances
 from ..selection.edit_index import qgrams
+from .common import counts_within_thresholds
 
 
 # --------------------------------------------------------------------------- #
@@ -54,41 +59,81 @@ class HistogramHammingEstimator(CardinalityEstimator):
             stop = min(start + self.group_size, self._dimension)
             self._groups.append((start, stop))
             start = stop
-        # Pattern histogram per group: bytes(pattern) -> count.
-        self._histograms: List[Dict[bytes, int]] = []
+        # Pattern histogram per group, stored as (patterns matrix, counts vector)
+        # so the batch kernel can compare every query against every pattern at once.
+        self._pattern_matrices: List[np.ndarray] = []
+        self._pattern_counts: List[np.ndarray] = []
         for start, stop in self._groups:
             histogram: Dict[bytes, int] = defaultdict(int)
             for row in matrix:
                 histogram[row[start:stop].tobytes()] += 1
-            self._histograms.append(dict(histogram))
+            if histogram:
+                patterns = np.stack(
+                    [np.frombuffer(pattern, dtype=np.uint8) for pattern in histogram]
+                )
+            else:
+                patterns = np.zeros((0, stop - start), dtype=np.uint8)
+            self._pattern_matrices.append(patterns)
+            self._pattern_counts.append(np.asarray(list(histogram.values()), dtype=np.float64))
 
-    def _group_distance_distribution(self, query_part: np.ndarray, histogram: Dict[bytes, int]) -> np.ndarray:
-        """P[group Hamming distance = k] for k = 0..group width."""
-        width = query_part.shape[0]
-        distribution = np.zeros(width + 1)
-        for pattern_bytes, count in histogram.items():
-            pattern = np.frombuffer(pattern_bytes, dtype=np.uint8)
-            distance = int(np.count_nonzero(pattern != query_part))
-            distribution[distance] += count
-        return distribution / max(self._num_records, 1)
+    def _distance_distributions(self, queries: np.ndarray) -> np.ndarray:
+        """Convolved distance distribution per query: (n, dimension + 1)."""
+        num_queries = queries.shape[0]
+        total = np.ones((num_queries, 1))
+        scale = max(self._num_records, 1)
+        for (start, stop), patterns, counts in zip(
+            self._groups, self._pattern_matrices, self._pattern_counts
+        ):
+            width = stop - start
+            # (n, patterns) group Hamming distances, then a weighted histogram row.
+            distances = np.count_nonzero(
+                patterns[None, :, :] != queries[:, None, start:stop], axis=2
+            )
+            group = np.zeros((num_queries, width + 1))
+            rows = np.broadcast_to(np.arange(num_queries)[:, None], distances.shape)
+            np.add.at(group, (rows, distances), np.broadcast_to(counts, distances.shape))
+            group /= scale
+            # Convolve the running distribution with this group's distribution.
+            length = total.shape[1]
+            combined = np.zeros((num_queries, length + width))
+            for offset in range(width + 1):
+                combined[:, offset : offset + length] += total * group[:, offset : offset + 1]
+            total = combined
+        return total
 
-    def estimate(self, record: Any, theta: float) -> float:
-        query = np.asarray(record, dtype=np.uint8).reshape(-1)
-        # Convolve per-group distance distributions (independence assumption).
-        total_distribution = np.array([1.0])
-        for (start, stop), histogram in zip(self._groups, self._histograms):
-            group_distribution = self._group_distance_distribution(query[start:stop], histogram)
-            total_distribution = np.convolve(total_distribution, group_distribution)
-        threshold = int(theta)
-        cumulative = total_distribution[: threshold + 1].sum()
-        return float(cumulative * self._num_records)
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        queries = np.stack([np.asarray(r, dtype=np.uint8).reshape(-1) for r in records])
+        cumulative = np.cumsum(self._distance_distributions(queries), axis=1)
+        thresholds = np.asarray(thetas, dtype=np.float64).astype(np.int64)
+        columns = np.clip(thresholds, 0, cumulative.shape[1] - 1)
+        return cumulative[np.arange(len(records)), columns] * self._num_records
+
+    def estimate_curve_many(
+        self, records: Sequence[Any], thetas: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """The convolved distribution is computed once; its cumsum is the curve."""
+        thetas = self._resolve_curve_thetas(thetas)
+        records = list(records)
+        if not records:
+            return np.zeros((0, len(thetas)))
+        queries = np.stack([np.asarray(r, dtype=np.uint8).reshape(-1) for r in records])
+        cumulative = np.cumsum(self._distance_distributions(queries), axis=1)
+        columns = np.clip(thetas.astype(np.int64), 0, cumulative.shape[1] - 1)
+        return cumulative[:, columns] * self._num_records
+
+    def curve_thetas(self) -> np.ndarray:
+        """Hamming thresholds are the integers 0..dimension."""
+        return np.arange(self._dimension + 1, dtype=np.float64)
 
     def size_in_bytes(self) -> int:
-        total = 0
-        for histogram in self._histograms:
-            for pattern in histogram:
-                total += len(pattern) + 8
-        return total
+        # One stored pattern costs its bytes plus an 8-byte count.
+        return sum(
+            patterns.shape[0] * (patterns.shape[1] + 8)
+            for patterns in self._pattern_matrices
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -110,30 +155,79 @@ class QGramInvertedIndexEstimator(CardinalityEstimator):
             for gram in grams:
                 self._inverted[gram].append(record_id)
 
-    def estimate(self, record: Any, theta: float) -> float:
-        threshold = int(theta)
+    def _query_state(self, record: Any) -> tuple[int, np.ndarray, np.ndarray]:
+        """(query length, ids of records sharing a gram, their shared-gram counts)."""
         query = str(record)
         query_grams = qgrams(query, self.q)
-        query_length = len(query)
-
         shared: Dict[int, int] = defaultdict(int)
         for gram, multiplicity in query_grams.items():
             for record_id in self._inverted.get(gram, ()):
                 shared[record_id] += min(multiplicity, self._grams[record_id][gram])
+        record_ids = np.fromiter(shared.keys(), dtype=np.int64, count=len(shared))
+        overlaps = np.fromiter(shared.values(), dtype=np.int64, count=len(shared))
+        return len(query), record_ids, overlaps
 
-        count = 0
-        for record_id, overlap in shared.items():
-            length = int(self._lengths[record_id])
-            if abs(length - query_length) > threshold:
-                continue
-            required = max(query_length, length) - self.q + 1 - self.q * threshold
-            if overlap >= required:
-                count += 1
-        if count == 0:
-            # The count filter is vacuous for very small strings/large thresholds;
-            # fall back to the length filter alone.
-            count = int(np.count_nonzero(np.abs(self._lengths - query_length) <= threshold))
-        return float(count)
+    def _counts_for_thresholds(
+        self,
+        query_length: int,
+        record_ids: np.ndarray,
+        overlaps: np.ndarray,
+        thresholds: np.ndarray,
+    ) -> np.ndarray:
+        """Count-filter passes for every threshold at once: (len(thresholds),)."""
+        if record_ids.size:
+            lengths = self._lengths[record_ids]
+            length_ok = np.abs(lengths - query_length) <= thresholds[:, None]
+            required = (
+                np.maximum(query_length, lengths)[None, :]
+                - self.q
+                + 1
+                - self.q * thresholds[:, None]
+            )
+            counts = np.count_nonzero(length_ok & (overlaps[None, :] >= required), axis=1)
+        else:
+            counts = np.zeros(len(thresholds), dtype=np.int64)
+        # The count filter is vacuous for very small strings/large thresholds;
+        # fall back to the length filter alone wherever it returned nothing
+        # (the full-dataset length scan is only paid when actually needed).
+        if np.any(counts == 0):
+            length_gaps_all = np.abs(self._lengths - query_length)
+            fallback = np.count_nonzero(
+                length_gaps_all[None, :] <= thresholds[:, None], axis=1
+            )
+            counts = np.where(counts == 0, fallback, counts)
+        return counts.astype(np.float64)
+
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        thresholds = np.asarray(thetas, dtype=np.float64).astype(np.int64)
+        output = np.zeros(len(records))
+        for index, record in enumerate(records):
+            query_length, record_ids, overlaps = self._query_state(record)
+            output[index] = self._counts_for_thresholds(
+                query_length, record_ids, overlaps, thresholds[index : index + 1]
+            )[0]
+        return output
+
+    def estimate_curve_many(
+        self, records: Sequence[Any], thetas: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """The q-gram overlaps are computed once per record, then every
+        threshold of the grid is answered vectorized."""
+        thetas = self._resolve_curve_thetas(thetas)
+        records = list(records)
+        if not records:
+            return np.zeros((0, len(thetas)))
+        thresholds = thetas.astype(np.int64)
+        curves = np.zeros((len(records), len(thresholds)))
+        for index, record in enumerate(records):
+            query_length, record_ids, overlaps = self._query_state(record)
+            curves[index] = self._counts_for_thresholds(
+                query_length, record_ids, overlaps, thresholds
+            )
+        return curves
 
     def size_in_bytes(self) -> int:
         return sum(len(gram) + 8 * len(ids) for gram, ids in self._inverted.items())
@@ -147,6 +241,9 @@ class SketchJaccardEstimator(CardinalityEstimator):
 
     name = "DB-SE"
     monotonic = True
+
+    #: Queries per block when materializing the (queries, records) agreement matrix.
+    _BATCH_BLOCK = 256
 
     def __init__(
         self,
@@ -169,11 +266,36 @@ class SketchJaccardEstimator(CardinalityEstimator):
             return np.full(self.num_hashes, self.universe_size, dtype=np.int64)
         return self._permutations[:, elements].min(axis=1)
 
-    def estimate(self, record: Any, theta: float) -> float:
-        query_sketch = self._sketch(record)
-        agreement = (self._sketches == query_sketch[None, :]).mean(axis=1)
-        estimated_distance = 1.0 - agreement
-        return float(np.count_nonzero(estimated_distance <= theta + 1e-12))
+    def _sketch_distances(self, records: Sequence[Any]) -> np.ndarray:
+        """(n, dataset) sketch-estimated Jaccard distances, blockwise."""
+        query_sketches = np.stack([self._sketch(record) for record in records])
+        blocks = []
+        for start in range(0, len(records), self._BATCH_BLOCK):
+            block = query_sketches[start : start + self._BATCH_BLOCK]
+            agreement = (self._sketches[None, :, :] == block[:, None, :]).mean(axis=2)
+            blocks.append(1.0 - agreement)
+        return np.concatenate(blocks, axis=0)
+
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        distances = self._sketch_distances(records)
+        thetas = np.asarray(thetas, dtype=np.float64)
+        return np.count_nonzero(
+            distances <= thetas[:, None] + 1e-12, axis=1
+        ).astype(np.float64)
+
+    def estimate_curve_many(
+        self, records: Sequence[Any], thetas: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Sketch distances are computed once per record, curves come free
+        (the shared sort+searchsorted kernel avoids a 3-D temporary)."""
+        thetas = self._resolve_curve_thetas(thetas)
+        records = list(records)
+        if not records:
+            return np.zeros((0, len(thetas)))
+        return counts_within_thresholds(self._sketch_distances(records), thetas)
 
     def size_in_bytes(self) -> int:
         return int(self._sketches.nbytes)
@@ -224,23 +346,71 @@ class LSHSamplingEuclideanEstimator(CardinalityEstimator):
                 candidate_ids.update(int(i) for i in bucket)
         return np.fromiter(candidate_ids, dtype=np.int64, count=len(candidate_ids))
 
-    def estimate(self, record: Any, theta: float) -> float:
+    def _query_state(self, record: Any) -> tuple[np.ndarray, np.ndarray, int]:
+        """Exact distances to LSH candidates and to the unseen background sample.
+
+        Computed once per record; every threshold is then a vectorized count.
+        """
         query = np.asarray(record, dtype=np.float64).reshape(-1)
         candidates = self._candidates(query)
-        candidate_count = 0
         if candidates.size:
             deltas = self._matrix[candidates] - query[None, :]
-            distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
-            candidate_count = int(np.count_nonzero(distances <= theta + 1e-12))
-        # Estimate the matches the LSH tables missed from the background sample.
+            candidate_distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        else:
+            candidate_distances = np.zeros(0)
         background = np.setdiff1d(self._background_ids, candidates, assume_unique=False)
-        missed_estimate = 0.0
         if background.size:
             deltas = self._matrix[background] - query[None, :]
-            distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
-            fraction = np.count_nonzero(distances <= theta + 1e-12) / background.size
-            missed_estimate = fraction * max(self._num_records - candidates.size, 0)
-        return float(candidate_count + missed_estimate)
+            background_distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        else:
+            background_distances = np.zeros(0)
+        return candidate_distances, background_distances, int(candidates.size)
+
+    def _counts_for_thresholds(
+        self,
+        candidate_distances: np.ndarray,
+        background_distances: np.ndarray,
+        num_candidates: int,
+        thresholds: np.ndarray,
+    ) -> np.ndarray:
+        counts = np.count_nonzero(
+            candidate_distances[None, :] <= thresholds[:, None] + 1e-12, axis=1
+        ).astype(np.float64)
+        if background_distances.size:
+            fractions = (
+                np.count_nonzero(
+                    background_distances[None, :] <= thresholds[:, None] + 1e-12, axis=1
+                )
+                / background_distances.size
+            )
+            counts = counts + fractions * max(self._num_records - num_candidates, 0)
+        return counts
+
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        thetas = np.asarray(thetas, dtype=np.float64)
+        output = np.zeros(len(records))
+        for index, record in enumerate(records):
+            state = self._query_state(record)
+            output[index] = self._counts_for_thresholds(*state, thetas[index : index + 1])[0]
+        return output
+
+    def estimate_curve_many(
+        self, records: Sequence[Any], thetas: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Candidate/background distances are computed once per record; the
+        whole threshold grid is then answered vectorized."""
+        thetas = self._resolve_curve_thetas(thetas)
+        records = list(records)
+        if not records:
+            return np.zeros((0, len(thetas)))
+        curves = np.zeros((len(records), len(thetas)))
+        for index, record in enumerate(records):
+            state = self._query_state(record)
+            curves[index] = self._counts_for_thresholds(*state, thetas)
+        return curves
 
     def size_in_bytes(self) -> int:
         total = int(self._projections.nbytes + self._offsets.nbytes)

@@ -145,11 +145,15 @@ class DeepLatticeNetworkEstimator(CardinalityEstimator):
                 optimizer.step()
         return self
 
-    def estimate(self, record: Any, theta: float) -> float:
-        record_features = self.featurizer.record_vector(record)[None, :]
-        threshold = np.asarray([[self.featurizer.normalized_theta(theta)]])
-        prediction = self.model(Tensor(record_features), Tensor(threshold)).data.reshape(-1)[0]
-        return float(max(np.expm1(prediction), 0.0))
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        """Single forward over the stacked (record, threshold) batch."""
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        record_features = self.featurizer.record_matrix(records)
+        thresholds = self.featurizer.normalized_thetas(thetas)[:, None]
+        predictions = self.model(Tensor(record_features), Tensor(thresholds)).data.reshape(-1)
+        return np.maximum(np.expm1(predictions), 0.0)
 
     def size_in_bytes(self) -> int:
         return nn.serialized_size(self.model)

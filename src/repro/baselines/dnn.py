@@ -96,15 +96,11 @@ class DNNEstimator(CardinalityEstimator):
         )
         return self
 
-    def estimate(self, record: Any, theta: float) -> float:
-        features = self.featurizer.features(record, theta)[None, :]
-        prediction = self.model(Tensor(features)).data.reshape(-1)[0]
-        return float(max(np.expm1(prediction), 0.0))
-
-    def estimate_many(self, examples: Sequence[QueryExample]) -> np.ndarray:
-        if not examples:
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        records = list(records)
+        if not records:
             return np.zeros(0)
-        features = self.featurizer.matrix(examples)
+        features = self.featurizer.matrix_from(records, thetas)
         predictions = self.model(Tensor(features)).data.reshape(-1)
         return np.maximum(np.expm1(predictions), 0.0)
 
@@ -172,19 +168,37 @@ class PerThresholdDNNEstimator(CardinalityEstimator):
             self.models[bucket_index] = model
         return self
 
-    def estimate(self, record: Any, theta: float) -> float:
-        bucket = self._range_of(theta)
-        model = self.models[bucket]
-        if model is None:
-            # Use the nearest trained range below (then above) as a fallback.
-            trained = [i for i, m in enumerate(self.models) if m is not None]
-            if not trained:
-                return float(max(np.expm1(self._fallback), 0.0))
-            bucket = min(trained, key=lambda i: abs(i - bucket))
-            model = self.models[bucket]
-        features = self.featurizer.features(record, theta)[None, :]
-        prediction = model(Tensor(features)).data.reshape(-1)[0]
-        return float(max(np.expm1(prediction), 0.0))
+    def _effective_bucket(self, bucket: int) -> Optional[int]:
+        """Bucket whose model answers queries routed to ``bucket`` (fallback map)."""
+        if self.models[bucket] is not None:
+            return bucket
+        trained = [i for i, model in enumerate(self.models) if model is not None]
+        if not trained:
+            return None
+        return min(trained, key=lambda i: abs(i - bucket))
+
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        """Route the batch to per-range networks; one forward per touched model."""
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        thetas = np.asarray(thetas, dtype=np.float64)
+        buckets = np.asarray([self._range_of(float(theta)) for theta in thetas])
+        # Resolve fallbacks first so all buckets sharing a model get ONE forward.
+        effective = np.full(len(records), -1, dtype=np.int64)
+        for bucket in np.unique(buckets):
+            resolved = self._effective_bucket(int(bucket))
+            if resolved is not None:
+                effective[buckets == bucket] = resolved
+        predictions = np.full(len(records), self._fallback)
+        features: Optional[np.ndarray] = None
+        for model_bucket in np.unique(effective[effective >= 0]):
+            if features is None:
+                features = self.featurizer.matrix_from(records, thetas)
+            member_ids = np.nonzero(effective == model_bucket)[0]
+            model = self.models[model_bucket]
+            predictions[member_ids] = model(Tensor(features[member_ids])).data.reshape(-1)
+        return np.maximum(np.expm1(predictions), 0.0)
 
     def size_in_bytes(self) -> int:
         return sum(nn.serialized_size(model) for model in self.models if model is not None)

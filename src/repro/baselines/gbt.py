@@ -57,13 +57,44 @@ class RegressionTree:
         self.feature_fraction = feature_fraction
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._root: Optional[_TreeNode] = None
+        self._flat: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     # Fitting
     # ------------------------------------------------------------------ #
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
         self._root = self._build(features, targets, depth=0)
+        self._flat = self._flatten()
         return self
+
+    def _flatten(self) -> tuple:
+        """Array form of the tree (feature -1 marks a leaf) for batch routing."""
+        features: List[int] = []
+        thresholds: List[float] = []
+        lefts: List[int] = []
+        rights: List[int] = []
+        values: List[float] = []
+
+        def walk(node: _TreeNode) -> int:
+            index = len(features)
+            features.append(-1 if node.is_leaf else node.feature)
+            thresholds.append(node.threshold)
+            lefts.append(0)
+            rights.append(0)
+            values.append(node.value)
+            if not node.is_leaf:
+                lefts[index] = walk(node.left)
+                rights[index] = walk(node.right)
+            return index
+
+        walk(self._root)
+        return (
+            np.asarray(features, dtype=np.int64),
+            np.asarray(thresholds, dtype=np.float64),
+            np.asarray(lefts, dtype=np.int64),
+            np.asarray(rights, dtype=np.int64),
+            np.asarray(values, dtype=np.float64),
+        )
 
     def _best_split(self, features: np.ndarray, targets: np.ndarray, feature_ids: np.ndarray):
         best = None  # (sse, feature, threshold, left_mask)
@@ -118,15 +149,22 @@ class RegressionTree:
     # Prediction
     # ------------------------------------------------------------------ #
     def predict(self, features: np.ndarray) -> np.ndarray:
+        """Vectorized routing: all rows descend the flattened tree level by level."""
         if self._root is None:
             raise RuntimeError("tree is not fitted")
-        output = np.empty(features.shape[0])
-        for row_index, row in enumerate(features):
-            node = self._root
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            output[row_index] = node.value
-        return output
+        node_features, node_thresholds, lefts, rights, values = self._flat
+        positions = np.zeros(features.shape[0], dtype=np.int64)
+        while True:
+            split_features = node_features[positions]
+            active = np.nonzero(split_features >= 0)[0]
+            if active.size == 0:
+                break
+            rows = positions[active]
+            goes_left = (
+                features[active, split_features[active]] <= node_thresholds[rows]
+            )
+            positions[active] = np.where(goes_left, lefts[rows], rights[rows])
+        return values[positions]
 
     def count_nodes(self) -> int:
         def walk(node: Optional[_TreeNode]) -> int:
@@ -224,15 +262,11 @@ class GradientBoostedTreesEstimator(CardinalityEstimator):
             predictions = predictions + self.learning_rate * tree.predict(features)
         return predictions
 
-    def estimate(self, record: Any, theta: float) -> float:
-        features = self.featurizer.features(record, theta)[None, :]
-        value = np.expm1(self._predict_log(features))[0]
-        return float(max(value, 0.0))
-
-    def estimate_many(self, examples: Sequence[QueryExample]) -> np.ndarray:
-        if not examples:
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        records = list(records)
+        if not records:
             return np.zeros(0)
-        features = self.featurizer.matrix(examples)
+        features = self.featurizer.matrix_from(records, thetas)
         return np.maximum(np.expm1(self._predict_log(features)), 0.0)
 
     def size_in_bytes(self) -> int:

@@ -14,7 +14,7 @@ monotone in θ because Φ is increasing and the sample is fixed.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 from scipy.stats import norm
@@ -46,20 +46,41 @@ class KernelDensityEstimator(CardinalityEstimator):
         self._scale = population / sample_size
         self.bandwidth = bandwidth
 
-    def _resolve_bandwidth(self, distances: np.ndarray) -> float:
+    def _resolve_bandwidths(self, distances: np.ndarray) -> np.ndarray:
+        """Per-query Silverman-style bandwidths for an (n, sample) distance matrix."""
         if self.bandwidth is not None:
-            return self.bandwidth
-        # Silverman-style rule of thumb on the observed distance spread.
-        spread = np.std(distances)
-        if spread <= 0:
-            return 1.0
-        return float(1.06 * spread * len(distances) ** (-1.0 / 5.0))
+            return np.full(distances.shape[0], float(self.bandwidth))
+        spreads = np.std(distances, axis=1)
+        bandwidths = 1.06 * spreads * distances.shape[1] ** (-1.0 / 5.0)
+        return np.where(spreads <= 0, 1.0, bandwidths)
 
-    def estimate(self, record: Any, theta: float) -> float:
-        distances = self.distance.distances_to(record, self._sample)
-        bandwidth = self._resolve_bandwidth(distances)
-        smoothed = norm.cdf((theta - distances) / bandwidth)
-        return float(smoothed.sum() * self._scale)
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        distances = self.distance.cross_distances(records, self._sample)
+        bandwidths = self._resolve_bandwidths(distances)
+        thetas = np.asarray(thetas, dtype=np.float64)
+        smoothed = norm.cdf((thetas[:, None] - distances) / bandwidths[:, None])
+        return smoothed.sum(axis=1) * self._scale
+
+    def estimate_curve_many(
+        self, records: Sequence[Any], thetas: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Curves reuse the distance matrix and bandwidths across the grid.
+
+        Evaluated one grid column at a time so no (records × grid × sample)
+        temporary is materialized."""
+        thetas = self._resolve_curve_thetas(thetas)
+        records = list(records)
+        if not records:
+            return np.zeros((0, len(thetas)))
+        distances = self.distance.cross_distances(records, self._sample)
+        scaled_bandwidths = self._resolve_bandwidths(distances)[:, None]
+        curves = np.empty((len(records), len(thetas)))
+        for column, theta in enumerate(thetas):
+            curves[:, column] = norm.cdf((theta - distances) / scaled_bandwidths).sum(axis=1)
+        return curves * self._scale
 
     def size_in_bytes(self) -> int:
         total = 0

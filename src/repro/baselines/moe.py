@@ -106,15 +106,11 @@ class MixtureOfExpertsEstimator(CardinalityEstimator):
                 optimizer.step()
         return self
 
-    def estimate(self, record: Any, theta: float) -> float:
-        features = self.featurizer.features(record, theta)[None, :]
-        prediction = self.model(Tensor(features)).data.reshape(-1)[0]
-        return float(max(np.expm1(prediction), 0.0))
-
-    def estimate_many(self, examples: Sequence[QueryExample]) -> np.ndarray:
-        if not examples:
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        records = list(records)
+        if not records:
             return np.zeros(0)
-        features = self.featurizer.matrix(examples)
+        features = self.featurizer.matrix_from(records, thetas)
         predictions = self.model(Tensor(features)).data.reshape(-1)
         return np.maximum(np.expm1(predictions), 0.0)
 

@@ -55,11 +55,16 @@ class RecursiveModelIndexEstimator(CardinalityEstimator):
     # Routing
     # ------------------------------------------------------------------ #
     def _route(self, stage1_log_prediction: float) -> int:
+        return int(self._route_batch(np.asarray([stage1_log_prediction]))[0])
+
+    def _route_batch(self, stage1_log_predictions: np.ndarray) -> np.ndarray:
         low, high = self._log_range
         if high <= low:
-            return 0
-        position = (stage1_log_prediction - low) / (high - low)
-        return int(np.clip(np.searchsorted(self._boundaries, position), 0, self.num_experts - 1))
+            return np.zeros(len(stage1_log_predictions), dtype=np.int64)
+        positions = (stage1_log_predictions - low) / (high - low)
+        return np.clip(
+            np.searchsorted(self._boundaries, positions), 0, self.num_experts - 1
+        ).astype(np.int64)
 
     # ------------------------------------------------------------------ #
     # Training
@@ -83,7 +88,7 @@ class RecursiveModelIndexEstimator(CardinalityEstimator):
         )
 
         stage1_predictions = self.stage1(Tensor(features)).data.reshape(-1)
-        assignments = np.asarray([self._route(p) for p in stage1_predictions])
+        assignments = self._route_batch(stage1_predictions)
         for expert_index in range(self.num_experts):
             member_ids = np.nonzero(assignments == expert_index)[0]
             if member_ids.size == 0:
@@ -107,15 +112,24 @@ class RecursiveModelIndexEstimator(CardinalityEstimator):
     # ------------------------------------------------------------------ #
     # Estimation
     # ------------------------------------------------------------------ #
-    def estimate(self, record: Any, theta: float) -> float:
-        features = self.featurizer.features(record, theta)[None, :]
-        stage1_prediction = float(self.stage1(Tensor(features)).data.reshape(-1)[0])
-        expert = self.experts[self._route(stage1_prediction)]
-        if expert is None:
-            prediction = stage1_prediction
-        else:
-            prediction = float(expert(Tensor(features)).data.reshape(-1)[0])
-        return float(max(np.expm1(prediction), 0.0))
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        """One stage-1 forward routes the whole batch; one forward per expert."""
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        features = self.featurizer.matrix_from(records, thetas)
+        stage1_predictions = self.stage1(Tensor(features)).data.reshape(-1)
+        predictions = stage1_predictions.copy()
+        assignments = self._route_batch(stage1_predictions)
+        for expert_index in range(self.num_experts):
+            expert = self.experts[expert_index]
+            if expert is None:
+                continue
+            member_ids = np.nonzero(assignments == expert_index)[0]
+            if member_ids.size == 0:
+                continue
+            predictions[member_ids] = expert(Tensor(features[member_ids])).data.reshape(-1)
+        return np.maximum(np.expm1(predictions), 0.0)
 
     def size_in_bytes(self) -> int:
         total = nn.serialized_size(self.stage1)

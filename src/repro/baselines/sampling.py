@@ -8,12 +8,13 @@ monotone in the threshold.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from ..core.interface import CardinalityEstimator
 from ..distances import get_distance
+from .common import counts_within_thresholds
 
 
 class UniformSamplingEstimator(CardinalityEstimator):
@@ -40,9 +41,26 @@ class UniformSamplingEstimator(CardinalityEstimator):
         self._sample = [dataset_records[int(i)] for i in picks]
         self._scale = population / sample_size
 
-    def estimate(self, record: Any, theta: float) -> float:
-        count = self.distance.count_within(record, self._sample, theta)
-        return float(count * self._scale)
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        """One pairwise distance matrix against the sample answers the whole batch."""
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        distances = self.distance.cross_distances(records, self._sample)
+        thetas = np.asarray(thetas, dtype=np.float64)
+        counts = np.count_nonzero(distances <= thetas[:, None] + 1e-12, axis=1)
+        return counts.astype(np.float64) * self._scale
+
+    def estimate_curve_many(
+        self, records: Sequence[Any], thetas: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Curves reuse the same distance matrix across every grid threshold."""
+        thetas = self._resolve_curve_thetas(thetas)
+        records = list(records)
+        if not records:
+            return np.zeros((0, len(thetas)))
+        distances = self.distance.cross_distances(records, self._sample)
+        return counts_within_thresholds(distances, thetas) * self._scale
 
     def size_in_bytes(self) -> int:
         # The sample itself is the only state; approximate with numpy sizes.

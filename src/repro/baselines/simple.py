@@ -13,7 +13,7 @@ from typing import Any, Dict, Sequence
 
 import numpy as np
 
-from ..core.interface import CardinalityEstimator
+from ..core.interface import CardinalityEstimator, ScalarEstimatorMixin
 from ..selection import SimilaritySelector
 from ..workloads.examples import QueryExample
 
@@ -29,12 +29,32 @@ class MeanEstimator(CardinalityEstimator):
         self.num_buckets = int(num_buckets)
         self._bucket_means: Dict[int, float] = {}
         self._global_mean = 0.0
+        self._bucket_table = np.zeros(self.num_buckets)
 
     def _bucket(self, theta: float) -> int:
         if self.theta_max <= 0:
             return 0
         ratio = float(np.clip(theta / self.theta_max, 0.0, 1.0))
         return int(round(ratio * (self.num_buckets - 1)))
+
+    def _buckets(self, thetas: np.ndarray) -> np.ndarray:
+        if self.theta_max <= 0:
+            return np.zeros(len(thetas), dtype=np.int64)
+        ratios = np.clip(thetas / self.theta_max, 0.0, 1.0)
+        return np.round(ratios * (self.num_buckets - 1)).astype(np.int64)
+
+    def _rebuild_table(self) -> None:
+        """Dense bucket → estimate table encoding the nearest-below fallback."""
+        table = np.full(self.num_buckets, np.nan)
+        for bucket, mean in self._bucket_means.items():
+            table[bucket] = mean
+        filled = self._global_mean
+        for bucket in range(self.num_buckets):
+            if np.isnan(table[bucket]):
+                table[bucket] = filled
+            else:
+                filled = table[bucket]
+        self._bucket_table = table
 
     def fit(
         self, train: Sequence[QueryExample], validation: Sequence[QueryExample] = ()
@@ -57,21 +77,26 @@ class MeanEstimator(CardinalityEstimator):
             if bucket in self._bucket_means:
                 running = max(running, self._bucket_means[bucket])
                 self._bucket_means[bucket] = running
+        self._rebuild_table()
         return self
 
-    def estimate(self, record: Any, theta: float) -> float:
-        bucket = self._bucket(theta)
-        if bucket in self._bucket_means:
-            return self._bucket_means[bucket]
-        # Fall back to the nearest known bucket at or below, then the global mean.
-        known = [b for b in self._bucket_means if b <= bucket]
-        if known:
-            return self._bucket_means[max(known)]
-        return self._global_mean
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        """Query-independent: a table lookup answers the whole batch."""
+        thetas = np.asarray(thetas, dtype=np.float64)
+        return self._bucket_table[self._buckets(thetas)]
+
+    def estimate_curve_many(self, records: Sequence[Any], thetas=None) -> np.ndarray:
+        thetas = self._resolve_curve_thetas(thetas)
+        row = self._bucket_table[self._buckets(thetas)]
+        return np.tile(row, (len(records), 1))
 
 
-class ExactEstimator(CardinalityEstimator):
-    """Oracle wrapping an exact similarity selector (always correct, never fast)."""
+class ExactEstimator(ScalarEstimatorMixin, CardinalityEstimator):
+    """Oracle wrapping an exact similarity selector (always correct, never fast).
+
+    Exact selection has no batched kernel — the mixin loops the selector — but
+    the oracle still satisfies the batch-first interface for the harness.
+    """
 
     name = "Exact"
     monotonic = True
@@ -79,5 +104,5 @@ class ExactEstimator(CardinalityEstimator):
     def __init__(self, selector: SimilaritySelector) -> None:
         self.selector = selector
 
-    def estimate(self, record: Any, theta: float) -> float:
+    def estimate_one(self, record: Any, theta: float) -> float:
         return float(self.selector.cardinality(record, theta))

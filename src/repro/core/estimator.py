@@ -59,6 +59,8 @@ class CardNetEstimator(CardinalityEstimator):
         self.patience = patience
         self.name = "CardNet-A" if accelerated else "CardNet"
         self.last_training_result: Optional[TrainingResult] = None
+        self._canonical_grid: Optional[np.ndarray] = None
+        self._canonical_grid_computed = False
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -101,26 +103,88 @@ class CardNetEstimator(CardinalityEstimator):
         self.last_training_result = result
         return result
 
-    def estimate(self, record: Any, theta: float) -> float:
-        features = self.extractor.transform_record(record)[None, :]
-        tau = self.extractor.transform_threshold(theta)
-        value = self.model.estimate(features, np.asarray([tau]))[0]
-        return float(value)
-
-    def estimate_many(self, examples: Sequence[QueryExample]) -> np.ndarray:
-        if not examples:
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        """Primary batch path: one featurization pass + one model forward."""
+        records = list(records)
+        if not records:
             return np.zeros(0)
-        features = self.extractor.transform_records([example.record for example in examples])
-        taus = np.asarray(
-            [self.extractor.transform_threshold(example.theta) for example in examples],
-            dtype=np.int64,
-        )
+        features = self.extractor.transform_records(records)
+        taus = self.extractor.transform_thresholds(thetas)
         return self.model.estimate(features, taus)
+
+    def estimate_curve_many(
+        self,
+        records: Sequence[Any],
+        thetas: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        """Monotone curves for many records in a single model pass.
+
+        With the default grid the columns are the model's native τ = 0..τ_max
+        curve; an explicit ``thetas`` grid is answered by indexing that curve
+        through the monotone θ → τ map (no extra forward passes).
+        """
+        records = list(records)
+        if not records:
+            return np.zeros((0, self.model.tau_max + 1 if thetas is None else len(thetas)))
+        features = self.extractor.transform_records(records)
+        curves = self.model.estimate_curve(features)
+        if thetas is None or self._is_canonical_grid(thetas):
+            # Native τ-indexed curve: `curve_index` maps θ onto it exactly,
+            # even for extractors whose θ → τ map is not grid-position == τ
+            # (e.g. identity maps configured with tau_max > theta_max).
+            return curves
+        taus = self.extractor.transform_thresholds(thetas)
+        return curves[:, taus]
 
     def estimate_curve(self, record: Any) -> np.ndarray:
         """Monotone estimates for every τ = 0..τ_max (one call, used by GPH)."""
-        features = self.extractor.transform_record(record)[None, :]
-        return self.model.estimate_curve(features)[0]
+        return self.estimate_curve_many([record])[0]
+
+    def curve_thetas(self) -> Optional[np.ndarray]:
+        """One representative θ per decoder: the native grid served from curves.
+
+        Only returned when the grid genuinely inverts the extractor's θ → τ
+        map (``transform_thresholds(grid) == arange``), so that column ``j``
+        of a native curve IS the estimate at ``grid[j]``.  Extractors whose
+        map cannot be inverted on a uniform grid (nonlinear Euclidean maps,
+        identity maps with ``tau_max > theta_max``) report no canonical grid
+        and must be served through an explicit grid instead.
+        """
+        if not self._canonical_grid_computed:
+            self._canonical_grid = self._compute_canonical_grid()
+            self._canonical_grid_computed = True
+        return self._canonical_grid
+
+    def _compute_canonical_grid(self) -> Optional[np.ndarray]:
+        tau_max = self.model.tau_max
+        if tau_max <= 0:
+            return None
+        grid = np.arange(tau_max + 1, dtype=np.float64) * (self.extractor.theta_max / tau_max)
+        try:
+            taus = np.asarray(self.extractor.transform_thresholds(grid))
+        except ValueError:
+            return None
+        if not np.array_equal(taus, np.arange(tau_max + 1)):
+            return None
+        return grid
+
+    def _is_canonical_grid(self, thetas) -> bool:
+        canonical = self.curve_thetas()
+        if canonical is None:
+            return False
+        return len(thetas) == len(canonical) and np.array_equal(
+            np.asarray(thetas, dtype=np.float64), canonical
+        )
+
+    def curve_indices(self, thetas: Sequence[float], grid: np.ndarray) -> np.ndarray:
+        """Native curve columns answer θ exactly through the θ → τ map —
+        one grid comparison and one vectorized transform for the whole batch.
+
+        Consistent with :meth:`estimate_curve_many`, which returns the native
+        τ-indexed curve whenever the canonical grid is requested."""
+        if self._is_canonical_grid(grid):
+            return np.asarray(self.extractor.transform_thresholds(thetas), dtype=np.int64)
+        return super().curve_indices(thetas, grid)
 
     def validation_msle(self, examples: Sequence[QueryExample]) -> float:
         """MSLE of the current model on labelled examples (update monitoring, §8)."""

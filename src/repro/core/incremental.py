@@ -10,18 +10,30 @@ Workflow reproduced from the paper:
    trained further from its current parameters (never from scratch) on the
    full training data until the validation error is stable for three
    consecutive epochs.  Queries are kept fixed; only labels change.
+
+When the estimator is served through an :class:`repro.serving.EstimationService`,
+the manager is the component that keeps the serving layer honest: every
+applied update invalidates the service's cached curves for this estimator
+(the dataset changed, so every cached cardinality is stale), revalidation runs
+*through* the service so monitoring sees exactly what clients see, and a
+retrain invalidates again before fresh curves are cached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
 
 from ..datasets.updates import UpdateOperation, apply_operation
 from ..selection import SimilaritySelector
 from ..workloads.builder import relabel
 from ..workloads.examples import QueryExample
 from .estimator import CardNetEstimator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..serving.service import EstimationService
 
 
 @dataclass
@@ -47,6 +59,8 @@ class IncrementalUpdateManager:
         validation_examples: Sequence[QueryExample],
         error_tolerance: float = 1e-3,
         max_epochs_per_update: int = 10,
+        service: Optional["EstimationService"] = None,
+        service_endpoint: Optional[str] = None,
     ) -> None:
         self.estimator = estimator
         self.selector = selector
@@ -55,16 +69,46 @@ class IncrementalUpdateManager:
         self.records = list(selector.dataset)
         self.error_tolerance = error_tolerance
         self.max_epochs_per_update = max_epochs_per_update
+        if service is not None and service_endpoint is None:
+            raise ValueError("service_endpoint is required when a service is attached")
+        self.service = service
+        self.service_endpoint = service_endpoint
         self._baseline_validation_error: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Serving integration
+    # ------------------------------------------------------------------ #
+    def _invalidate_serving_cache(self) -> None:
+        if self.service is not None:
+            self.service.invalidate(self.service_endpoint)
+
+    def _validation_msle(self) -> float:
+        """Validation MSLE, measured through the serving path when attached."""
+        examples = self.validation_examples
+        if not examples:
+            return 0.0
+        if self.service is None:
+            return self.estimator.validation_msle(examples)
+        from ..metrics import msle
+
+        estimates = self.service.estimate_many(
+            self.service_endpoint,
+            [example.record for example in examples],
+            [example.theta for example in examples],
+        )
+        actual = np.asarray([example.cardinality for example in examples], dtype=np.float64)
+        return msle(actual, estimates)
 
     def process(self, operation: UpdateOperation, operation_index: int = 0) -> UpdateStepReport:
         """Apply one update operation and retrain incrementally if needed."""
         self.records = apply_operation(self.records, operation)
         self.selector = self.selector.rebuild(self.records)
+        # The dataset changed, so every cached curve for this estimator is stale.
+        self._invalidate_serving_cache()
 
         # Step 1: refresh validation labels and measure the error.
         self.validation_examples = relabel(self.validation_examples, self.selector)
-        error_before = self.estimator.validation_msle(self.validation_examples)
+        error_before = self._validation_msle()
         if self._baseline_validation_error is None:
             self._baseline_validation_error = error_before
 
@@ -81,7 +125,9 @@ class IncrementalUpdateManager:
             )
             retrained = True
             epochs_run = result.epochs_run
-            error_after = self.estimator.validation_msle(self.validation_examples)
+            # The model parameters moved: cached curves are stale again.
+            self._invalidate_serving_cache()
+            error_after = self._validation_msle()
             self._baseline_validation_error = error_after
         else:
             self._baseline_validation_error = min(self._baseline_validation_error, error_before)

@@ -39,6 +39,16 @@ class DistanceFunction(ABC):
         """Exact cardinality ``|{y in dataset : f(x, y) <= threshold}|``."""
         return int(np.count_nonzero(self.distances_to(x, dataset) <= threshold + 1e-12))
 
+    def cross_distances(self, queries: Sequence[Any], dataset: Sequence[Any]) -> np.ndarray:
+        """(n_queries, n_records) matrix of distances.
+
+        The batch-first estimators (sampling, KDE) are built on this kernel.
+        Subclasses with a vectorized pairwise form override it; the default
+        runs the per-query kernel row by row.
+        """
+        return np.stack([self.distances_to(query, dataset) for query in queries]) \
+            if len(queries) else np.zeros((0, len(dataset)))
+
     def __call__(self, x: Any, y: Any) -> float:
         return self.distance(x, y)
 

@@ -30,6 +30,23 @@ class EuclideanDistance(DistanceFunction):
         deltas = data - query[None, :]
         return np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
 
+    def cross_distances(self, queries: Sequence, dataset: Sequence) -> np.ndarray:
+        if len(queries) == 0:
+            return np.zeros((0, len(dataset)))
+        data = np.asarray(dataset, dtype=np.float64)
+        if data.ndim != 2:
+            data = np.stack([np.asarray(record, dtype=np.float64) for record in dataset])
+        query_matrix = np.asarray(queries, dtype=np.float64)
+        if query_matrix.ndim != 2:
+            query_matrix = np.stack([np.asarray(record, dtype=np.float64) for record in queries])
+        # ||q - d||^2 = ||q||^2 - 2 q·d + ||d||^2, clipped against fp cancellation.
+        squared = (
+            np.einsum("ij,ij->i", query_matrix, query_matrix)[:, None]
+            - 2.0 * (query_matrix @ data.T)
+            + np.einsum("ij,ij->i", data, data)[None, :]
+        )
+        return np.sqrt(np.maximum(squared, 0.0))
+
 
 def normalize_rows(matrix: np.ndarray) -> np.ndarray:
     """L2-normalize each row (the paper normalizes GloVe vectors before use)."""

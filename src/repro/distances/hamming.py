@@ -55,3 +55,24 @@ class HammingDistance(DistanceFunction):
         if data.ndim != 2:
             data = np.stack([np.asarray(record) for record in dataset])
         return np.count_nonzero(data != query[None, :], axis=1).astype(np.float64)
+
+    def cross_distances(self, queries: Sequence, dataset: Sequence) -> np.ndarray:
+        if len(queries) == 0:
+            return np.zeros((0, len(dataset)))
+        data = np.asarray(dataset)
+        if data.ndim != 2:
+            data = np.stack([np.asarray(record) for record in dataset])
+        query_matrix = np.asarray(queries)
+        if query_matrix.ndim != 2:
+            query_matrix = np.stack([np.asarray(record) for record in queries])
+        # The packed XOR+popcount kernel binarizes, so it only matches
+        # distance()/distances_to() semantics for genuinely 0/1 data; fall
+        # back to the elementwise comparison for anything else.
+        if ((data == 0) | (data == 1)).all() and ((query_matrix == 0) | (query_matrix == 1)).all():
+            data_packed = pack_bits(data.astype(np.uint8))
+            query_packed = pack_bits(query_matrix.astype(np.uint8))
+            xor = np.bitwise_xor(query_packed[:, None, :], data_packed[None, :, :])
+            return _POPCOUNT_TABLE[xor].sum(axis=2).astype(np.float64)
+        return np.count_nonzero(
+            query_matrix[:, None, :] != data[None, :, :], axis=2
+        ).astype(np.float64)

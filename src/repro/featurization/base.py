@@ -50,6 +50,20 @@ class FeatureExtractor(ABC):
                 f"threshold {theta} outside supported range [0, {self.theta_max}]"
             )
 
+    def validate_thresholds(self, thetas: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`validate_threshold`; returns the float array.
+
+        The single place the accepted range/tolerance lives for the batch
+        paths — vectorized ``transform_thresholds`` overrides call this
+        instead of re-implementing the check.
+        """
+        thetas = np.asarray(thetas, dtype=np.float64)
+        if thetas.size and (thetas.min() < 0 or thetas.max() > self.theta_max + 1e-9):
+            raise ValueError(
+                f"thresholds outside supported range [0, {self.theta_max}]"
+            )
+        return thetas
+
     def available_taus(self) -> List[int]:
         """All integer thresholds that some θ ∈ [0, θ_max] can map to."""
         return sorted({self.transform_threshold(theta) for theta in np.linspace(0.0, self.theta_max, 512)})
@@ -65,3 +79,14 @@ def proportional_threshold_map(theta: float, theta_max: float, tau_max: int) -> 
         return 0
     ratio = min(max(theta / theta_max, 0.0), 1.0)
     return int(np.floor(tau_max * ratio + 1e-12))
+
+
+def proportional_threshold_map_batch(
+    thetas: Sequence[float], theta_max: float, tau_max: int
+) -> np.ndarray:
+    """Vectorized form of :func:`proportional_threshold_map`."""
+    thetas = np.asarray(thetas, dtype=np.float64)
+    if theta_max <= 0:
+        return np.zeros(thetas.shape, dtype=np.int64)
+    ratios = np.clip(thetas / theta_max, 0.0, 1.0)
+    return np.floor(tau_max * ratios + 1e-12).astype(np.int64)

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import FeatureExtractor, proportional_threshold_map
+from .base import FeatureExtractor, proportional_threshold_map, proportional_threshold_map_batch
 
 
 class HammingFeatureExtractor(FeatureExtractor):
@@ -36,3 +36,10 @@ class HammingFeatureExtractor(FeatureExtractor):
         if self.theta_max <= self.tau_max:
             return int(np.floor(theta + 1e-12))
         return proportional_threshold_map(theta, self.theta_max, self.tau_max)
+
+    def transform_thresholds(self, thetas) -> np.ndarray:
+        """Vectorized θ → τ map (the batch-first hot path avoids the scalar loop)."""
+        thetas = self.validate_thresholds(thetas)
+        if self.theta_max <= self.tau_max:
+            return np.floor(thetas + 1e-12).astype(np.int64)
+        return proportional_threshold_map_batch(thetas, self.theta_max, self.tau_max)

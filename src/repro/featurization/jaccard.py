@@ -15,7 +15,7 @@ from typing import Iterable
 import numpy as np
 
 from ..distances.jaccard import as_frozenset
-from .base import FeatureExtractor, proportional_threshold_map
+from .base import FeatureExtractor, proportional_threshold_map, proportional_threshold_map_batch
 
 
 class MinHashJaccardFeatureExtractor(FeatureExtractor):
@@ -71,3 +71,7 @@ class MinHashJaccardFeatureExtractor(FeatureExtractor):
     def transform_threshold(self, theta: float) -> int:
         self.validate_threshold(theta)
         return proportional_threshold_map(theta, self.theta_max, self.tau_max)
+
+    def transform_thresholds(self, thetas) -> np.ndarray:
+        thetas = self.validate_thresholds(thetas)
+        return proportional_threshold_map_batch(thetas, self.theta_max, self.tau_max)

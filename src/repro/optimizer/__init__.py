@@ -10,15 +10,27 @@ from .conjunctive import (
     run_conjunctive_workload,
 )
 from .gph import (
+    ExactPartCardinalities,
     GPHExecution,
     GPHQueryProcessor,
+    HistogramPartCardinalities,
+    MeanPartCardinalities,
+    ModelPartCardinalities,
+    PartCardinalityEstimator,
     exact_part_estimator,
+    fetch_part_curves,
     histogram_part_estimator,
     mean_part_estimator,
     model_part_estimator,
 )
 
 __all__ = [
+    "PartCardinalityEstimator",
+    "ExactPartCardinalities",
+    "MeanPartCardinalities",
+    "HistogramPartCardinalities",
+    "ModelPartCardinalities",
+    "fetch_part_curves",
     "Predicate",
     "ConjunctiveQuery",
     "ConjunctiveQueryProcessor",

@@ -12,21 +12,74 @@ The *query optimizer* chooses the allocation that minimizes the sum of the
 estimated per-part cardinalities (a dynamic program over parts × budget).
 Better cardinality estimates ⇒ fewer candidates ⇒ faster queries, which is
 what Fig. 13/14 measure.
+
+The allocation DP needs the estimate for *every* per-part threshold
+``t = 0..budget`` — exactly one cardinality curve per part.  Estimators
+therefore implement :meth:`PartCardinalityEstimator.part_curves`, which
+fetches each part's whole curve in one batched call per plan enumeration;
+the legacy scalar signature ``estimator(part_index, part_bits, t)`` is kept
+as a fallback (and all built-in estimators still support it).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..selection.hamming_index import PigeonholeHammingSelector
 
-#: Signature of a per-part cardinality estimator:
+#: Legacy signature of a per-part cardinality estimator:
 #: (part_index, part_query_bits, threshold) -> estimated count.
 PartEstimator = Callable[[int, np.ndarray, int], float]
+
+
+def _scalar_part_curves(
+    estimator: PartEstimator,
+    part_queries: Sequence[np.ndarray],
+    limits: Sequence[int],
+) -> List[np.ndarray]:
+    """Curves fetched point by point through the scalar callable protocol."""
+    return [
+        np.asarray(
+            [estimator(part_index, part_bits, t) for t in range(limit + 1)],
+            dtype=np.float64,
+        )
+        for part_index, (part_bits, limit) in enumerate(zip(part_queries, limits))
+    ]
+
+
+class PartCardinalityEstimator:
+    """Per-part estimator with a curve-batched primary operation.
+
+    Subclasses implement the scalar ``__call__`` (kept for compatibility with
+    the legacy ``PartEstimator`` callable protocol) and, when they can do
+    better than a per-threshold loop, override :meth:`part_curves` — the
+    operation the allocation DP actually consumes.
+    """
+
+    def __call__(self, part_index: int, part_bits: np.ndarray, threshold: int) -> float:
+        raise NotImplementedError
+
+    def part_curves(
+        self, part_queries: Sequence[np.ndarray], limits: Sequence[int]
+    ) -> List[np.ndarray]:
+        """One cardinality curve per part: ``curves[p][t]`` estimates part ``p``
+        at per-part threshold ``t`` for ``t = 0..limits[p]``."""
+        return _scalar_part_curves(self, part_queries, limits)
+
+
+def fetch_part_curves(
+    estimator: Union[PartCardinalityEstimator, PartEstimator],
+    part_queries: Sequence[np.ndarray],
+    limits: Sequence[int],
+) -> List[np.ndarray]:
+    """Curves from a curve-capable estimator, or a scalar-loop fallback."""
+    if hasattr(estimator, "part_curves"):
+        return estimator.part_curves(part_queries, limits)
+    return _scalar_part_curves(estimator, part_queries, limits)
 
 
 @dataclass
@@ -70,14 +123,17 @@ class GPHQueryProcessor:
         self,
         record: np.ndarray,
         threshold: int,
-        estimator: PartEstimator,
+        estimator: Union[PartCardinalityEstimator, PartEstimator],
         max_part_threshold: Optional[int] = None,
     ) -> List[int]:
         """Dynamic-programming allocation minimizing the estimated candidate count.
 
         ``cost[p][b]`` is the minimum estimated candidates using the first ``p``
         parts with a remaining budget of ``b``; part ``p`` may take any
-        ``t ∈ [0, min(b, part width)]`` at cost ``estimator(p, q_p, t)``.
+        ``t ∈ [0, min(b, part width)]`` at cost ``curve_p[t]``.  The per-part
+        curves are fetched in one batched request per plan enumeration
+        (:func:`fetch_part_curves`) rather than one scalar estimate per
+        (part, threshold) pair.
         """
         record = np.asarray(record, dtype=np.uint8)
         num_parts = self.num_parts
@@ -86,16 +142,10 @@ class GPHQueryProcessor:
         if max_part_threshold is not None:
             part_widths = [min(width, max_part_threshold) for width in part_widths]
 
-        # Estimated cardinality per (part, per-part threshold).
-        estimates: List[np.ndarray] = []
-        for part_index in range(num_parts):
-            width = part_widths[part_index]
-            part_bits = self.part_query(record, part_index)
-            estimates.append(
-                np.asarray(
-                    [estimator(part_index, part_bits, t) for t in range(min(width, budget) + 1)]
-                )
-            )
+        # Whole cardinality curve per (part, per-part threshold), batched.
+        part_queries = [self.part_query(record, p) for p in range(num_parts)]
+        limits = [min(width, budget) for width in part_widths]
+        estimates = fetch_part_curves(estimator, part_queries, limits)
 
         infinity = float("inf")
         cost = np.full((num_parts + 1, budget + 1), infinity)
@@ -136,7 +186,7 @@ class GPHQueryProcessor:
         self,
         record: np.ndarray,
         threshold: int,
-        estimator: PartEstimator,
+        estimator: Union[PartCardinalityEstimator, PartEstimator],
         max_part_threshold: Optional[int] = None,
     ) -> GPHExecution:
         record = np.asarray(record, dtype=np.uint8)
@@ -160,74 +210,150 @@ class GPHQueryProcessor:
 # --------------------------------------------------------------------------- #
 # Ready-made per-part estimators for the benchmark comparison
 # --------------------------------------------------------------------------- #
-def exact_part_estimator(processor: GPHQueryProcessor, dataset_records: Sequence) -> PartEstimator:
+class ExactPartCardinalities(PartCardinalityEstimator):
     """Oracle: exact per-part cardinalities (scan of the part columns)."""
-    matrix = np.asarray(dataset_records, dtype=np.uint8)
-    parts = processor.selector.parts
 
-    def estimate(part_index: int, part_bits: np.ndarray, threshold: int) -> float:
-        start, stop = parts[part_index]
-        distances = np.count_nonzero(matrix[:, start:stop] != part_bits[None, :], axis=1)
+    def __init__(self, processor: GPHQueryProcessor, dataset_records: Sequence) -> None:
+        self._matrix = np.asarray(dataset_records, dtype=np.uint8)
+        self._parts = processor.selector.parts
+
+    def _part_distances(self, part_index: int, part_bits: np.ndarray) -> np.ndarray:
+        start, stop = self._parts[part_index]
+        return np.count_nonzero(self._matrix[:, start:stop] != part_bits[None, :], axis=1)
+
+    def __call__(self, part_index: int, part_bits: np.ndarray, threshold: int) -> float:
+        distances = self._part_distances(part_index, part_bits)
         return float(np.count_nonzero(distances <= threshold))
 
-    return estimate
+    def part_curves(
+        self, part_queries: Sequence[np.ndarray], limits: Sequence[int]
+    ) -> List[np.ndarray]:
+        """One column scan per part answers every per-part threshold at once."""
+        curves = []
+        for part_index, (part_bits, limit) in enumerate(zip(part_queries, limits)):
+            distances = self._part_distances(part_index, part_bits)
+            counts = np.bincount(np.minimum(distances, limit + 1), minlength=limit + 2)
+            curves.append(np.cumsum(counts[: limit + 1]).astype(np.float64))
+        return curves
 
 
-def mean_part_estimator(processor: GPHQueryProcessor, dataset_records: Sequence) -> PartEstimator:
+class MeanPartCardinalities(PartCardinalityEstimator):
     """Naive: query-independent mean cardinality per (part, threshold)."""
-    matrix = np.asarray(dataset_records, dtype=np.uint8)
-    parts = processor.selector.parts
-    num_records = matrix.shape[0]
-    tables: List[np.ndarray] = []
-    for start, stop in parts:
-        width = stop - start
-        # Expected count under a "random query" model: use the dataset's own
-        # records as queries and average the distance distribution.
-        ones_fraction = matrix[:, start:stop].mean(axis=0)
-        expected_distribution = np.zeros(width + 1)
-        # Mean-field approximation: bit b differs with probability
-        # 2·p_b·(1 - p_b); the total distance is approximated by a binomial.
-        diff_probability = float(np.mean(2.0 * ones_fraction * (1.0 - ones_fraction)))
+
+    def __init__(self, processor: GPHQueryProcessor, dataset_records: Sequence) -> None:
         from scipy.stats import binom
 
-        expected_distribution = binom.pmf(np.arange(width + 1), width, diff_probability)
-        tables.append(np.cumsum(expected_distribution) * num_records)
+        matrix = np.asarray(dataset_records, dtype=np.uint8)
+        num_records = matrix.shape[0]
+        self._tables: List[np.ndarray] = []
+        for start, stop in processor.selector.parts:
+            width = stop - start
+            # Expected count under a "random query" model: use the dataset's own
+            # records as queries and average the distance distribution.
+            # Mean-field approximation: bit b differs with probability
+            # 2·p_b·(1 - p_b); the total distance is approximated by a binomial.
+            ones_fraction = matrix[:, start:stop].mean(axis=0)
+            diff_probability = float(np.mean(2.0 * ones_fraction * (1.0 - ones_fraction)))
+            expected_distribution = binom.pmf(np.arange(width + 1), width, diff_probability)
+            self._tables.append(np.cumsum(expected_distribution) * num_records)
 
-    def estimate(part_index: int, part_bits: np.ndarray, threshold: int) -> float:
-        table = tables[part_index]
+    def __call__(self, part_index: int, part_bits: np.ndarray, threshold: int) -> float:
+        table = self._tables[part_index]
         return float(table[min(threshold, len(table) - 1)])
 
-    return estimate
+    def part_curves(
+        self, part_queries: Sequence[np.ndarray], limits: Sequence[int]
+    ) -> List[np.ndarray]:
+        """Query-independent: the curves are precomputed table prefixes."""
+        curves = []
+        for part_index, limit in enumerate(limits):
+            table = self._tables[part_index]
+            columns = np.minimum(np.arange(limit + 1), len(table) - 1)
+            curves.append(table[columns])
+        return curves
+
+
+class HistogramPartCardinalities(PartCardinalityEstimator):
+    """DB histogram estimator applied to each part independently."""
+
+    def __init__(
+        self, processor: GPHQueryProcessor, dataset_records: Sequence, group_size: int = 8
+    ) -> None:
+        from ..baselines.db_specialized import HistogramHammingEstimator
+
+        matrix = np.asarray(dataset_records, dtype=np.uint8)
+        self._estimators = [
+            HistogramHammingEstimator(matrix[:, start:stop], group_size=group_size)
+            for start, stop in processor.selector.parts
+        ]
+
+    def __call__(self, part_index: int, part_bits: np.ndarray, threshold: int) -> float:
+        return self._estimators[part_index].estimate(part_bits, threshold)
+
+    def part_curves(
+        self, part_queries: Sequence[np.ndarray], limits: Sequence[int]
+    ) -> List[np.ndarray]:
+        """One ``estimate_curve_many`` call per part (whole curve at once)."""
+        return [
+            self._estimators[part_index].estimate_curve_many(
+                [part_bits], np.arange(limit + 1, dtype=np.float64)
+            )[0]
+            for part_index, (part_bits, limit) in enumerate(zip(part_queries, limits))
+        ]
+
+
+class ModelPartCardinalities(PartCardinalityEstimator):
+    """Adapter: one trained CardinalityEstimator per part (e.g. CardNet-A models)."""
+
+    def __init__(self, processor: GPHQueryProcessor, estimators: Sequence) -> None:
+        estimators = list(estimators)
+        if len(estimators) != processor.num_parts:
+            raise ValueError(
+                f"expected {processor.num_parts} per-part estimators, got {len(estimators)}"
+            )
+        self._estimators = estimators
+
+    def __call__(self, part_index: int, part_bits: np.ndarray, threshold: int) -> float:
+        return float(self._estimators[part_index].estimate(part_bits, threshold))
+
+    def part_curves(
+        self, part_queries: Sequence[np.ndarray], limits: Sequence[int]
+    ) -> List[np.ndarray]:
+        """One curve-batched call per part-model instead of ``limit+1`` scalars."""
+        return [
+            np.asarray(
+                self._estimators[part_index].estimate_curve_many(
+                    [part_bits], np.arange(limit + 1, dtype=np.float64)
+                )[0],
+                dtype=np.float64,
+            )
+            for part_index, (part_bits, limit) in enumerate(zip(part_queries, limits))
+        ]
+
+
+def exact_part_estimator(
+    processor: GPHQueryProcessor, dataset_records: Sequence
+) -> ExactPartCardinalities:
+    """Oracle: exact per-part cardinalities (scan of the part columns)."""
+    return ExactPartCardinalities(processor, dataset_records)
+
+
+def mean_part_estimator(
+    processor: GPHQueryProcessor, dataset_records: Sequence
+) -> MeanPartCardinalities:
+    """Naive: query-independent mean cardinality per (part, threshold)."""
+    return MeanPartCardinalities(processor, dataset_records)
 
 
 def histogram_part_estimator(
     processor: GPHQueryProcessor, dataset_records: Sequence, group_size: int = 8
-) -> PartEstimator:
+) -> HistogramPartCardinalities:
     """DB histogram estimator applied to each part independently."""
-    from ..baselines.db_specialized import HistogramHammingEstimator
-
-    matrix = np.asarray(dataset_records, dtype=np.uint8)
-    parts = processor.selector.parts
-    estimators = [
-        HistogramHammingEstimator(matrix[:, start:stop], group_size=group_size)
-        for start, stop in parts
-    ]
-
-    def estimate(part_index: int, part_bits: np.ndarray, threshold: int) -> float:
-        return estimators[part_index].estimate(part_bits, threshold)
-
-    return estimate
+    return HistogramPartCardinalities(processor, dataset_records, group_size=group_size)
 
 
-def model_part_estimator(processor: GPHQueryProcessor, estimators: Sequence) -> PartEstimator:
+def model_part_estimator(
+    processor: GPHQueryProcessor, estimators: Sequence
+) -> ModelPartCardinalities:
     """Adapter: one trained CardinalityEstimator per part (e.g. CardNet-A models)."""
-    estimators = list(estimators)
-    if len(estimators) != processor.num_parts:
-        raise ValueError(
-            f"expected {processor.num_parts} per-part estimators, got {len(estimators)}"
-        )
-
-    def estimate(part_index: int, part_bits: np.ndarray, threshold: int) -> float:
-        return float(estimators[part_index].estimate(part_bits, threshold))
-
-    return estimate
+    return ModelPartCardinalities(processor, estimators)

@@ -1,0 +1,86 @@
+"""LRU cache of cardinality curves keyed by featurized query record.
+
+The cache exploits the paper's central structural property: a monotone
+estimator answers *every* threshold for a record from one cached curve, so a
+hit saves not just the repeated query but all future queries on that record
+regardless of threshold.  Keys are ``(estimator name, record key bytes)`` so
+one cache serves every dataset/distance function behind the registry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+CacheKey = Tuple[str, bytes]
+
+
+class CurveCache:
+    """Bounded LRU mapping (estimator, record key) → cardinality curve."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, estimator_name: str, record_key: bytes) -> Optional[np.ndarray]:
+        key = (estimator_name, record_key)
+        curve = self._entries.get(key)
+        if curve is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return curve
+
+    def put(self, estimator_name: str, record_key: bytes, curve: np.ndarray) -> None:
+        key = (estimator_name, record_key)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = curve
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, estimator_name: Optional[str] = None) -> int:
+        """Drop cached curves — all of them, or only one estimator's.
+
+        Called when a dataset update or a retrain makes cached curves stale.
+        Returns the number of dropped entries.
+        """
+        if estimator_name is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [key for key in self._entries if key[0] == estimator_name]
+            for key in stale:
+                del self._entries[key]
+            dropped = len(stale)
+        self.invalidations += dropped
+        return dropped
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

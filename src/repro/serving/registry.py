@@ -1,0 +1,147 @@
+"""Registry of estimators: many datasets and distance functions, one endpoint.
+
+Each registered estimator carries everything the service needs to answer a
+request without touching the caller's objects again: the estimator itself,
+the canonical threshold grid its curves are materialized on, and a record →
+cache-key function.  Registration is the only place configuration happens;
+the serving hot path is pure lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.interface import CardinalityEstimator
+
+#: Maps a query record to a stable, hashable cache key.
+RecordKeyFunction = Callable[[Any], bytes]
+
+#: Grid points used when a registration supplies only ``theta_max``.
+DEFAULT_CURVE_RESOLUTION = 65
+
+
+def default_record_key(record: Any) -> bytes:
+    """Stable bytes key for the record types the library serves.
+
+    Numpy vectors hash by dtype+shape+payload; strings by their UTF-8 bytes;
+    sets by their sorted elements.  Anything else falls back to ``repr``.
+    """
+    if isinstance(record, np.ndarray):
+        normalized = np.ascontiguousarray(record)
+        header = f"{normalized.dtype.str}:{normalized.shape}".encode()
+        return header + normalized.tobytes()
+    if isinstance(record, str):
+        return b"s:" + record.encode("utf-8")
+    if isinstance(record, (set, frozenset)):
+        return b"f:" + repr(tuple(sorted(record))).encode("utf-8")
+    if isinstance(record, (list, tuple)):
+        return default_record_key(np.asarray(record))
+    return b"r:" + repr(record).encode("utf-8")
+
+
+@dataclass
+class RegisteredEstimator:
+    """One serving endpoint: estimator + curve grid + cache-key function."""
+
+    name: str
+    estimator: CardinalityEstimator
+    curve_thetas: np.ndarray
+    record_key: RecordKeyFunction = default_record_key
+    distance_name: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    #: True when ``curve_thetas`` is the estimator's own canonical grid, in
+    #: which case the service requests native curves (no grid re-indexing).
+    canonical: bool = False
+
+    def key_for(self, record: Any) -> bytes:
+        return self.record_key(record)
+
+    def curve_index(self, theta: float) -> int:
+        """Column of the endpoint's curves that answers threshold ``theta``."""
+        return self.estimator.curve_index(theta, self.curve_thetas)
+
+    def curve_indices(self, thetas: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`curve_index` for a whole request batch."""
+        return self.estimator.curve_indices(thetas, self.curve_thetas)
+
+
+class EstimatorRegistry:
+    """Named estimators behind one endpoint (one per dataset/distance/model)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, RegisteredEstimator] = {}
+
+    def register(
+        self,
+        name: str,
+        estimator: CardinalityEstimator,
+        curve_thetas: Optional[Sequence[float]] = None,
+        theta_max: Optional[float] = None,
+        curve_resolution: int = DEFAULT_CURVE_RESOLUTION,
+        record_key: Optional[RecordKeyFunction] = None,
+        distance_name: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> RegisteredEstimator:
+        """Register an estimator under ``name``.
+
+        The curve grid is resolved in priority order: an explicit
+        ``curve_thetas``, the estimator's own canonical grid
+        (:meth:`CardinalityEstimator.curve_thetas`), or a uniform grid over
+        ``[0, theta_max]`` with ``curve_resolution`` points.
+        """
+        if name in self._entries:
+            raise KeyError(f"estimator {name!r} is already registered")
+        canonical = False
+        if curve_thetas is None:
+            curve_thetas = estimator.curve_thetas()
+            canonical = curve_thetas is not None
+        if curve_thetas is None:
+            if theta_max is None:
+                raise ValueError(
+                    f"estimator {name!r} has no canonical curve grid; "
+                    "pass curve_thetas or theta_max"
+                )
+            curve_thetas = np.linspace(0.0, float(theta_max), int(curve_resolution))
+        grid = np.asarray(curve_thetas, dtype=np.float64)
+        if grid.ndim != 1 or grid.size == 0:
+            raise ValueError("curve_thetas must be a non-empty 1-D grid")
+        if np.any(np.diff(grid) < 0):
+            raise ValueError("curve_thetas must be non-decreasing")
+        entry = RegisteredEstimator(
+            name=name,
+            estimator=estimator,
+            curve_thetas=grid,
+            record_key=record_key or default_record_key,
+            distance_name=distance_name,
+            metadata=dict(metadata or {}),
+            canonical=canonical,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> RegisteredEstimator:
+        try:
+            return self._entries[name]
+        except KeyError as error:
+            raise KeyError(
+                f"unknown estimator {name!r}; registered: {sorted(self._entries)}"
+            ) from error
+
+    def unregister(self, name: str) -> None:
+        self.get(name)
+        del self._entries[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())

@@ -1,0 +1,267 @@
+"""The estimation service: micro-batching + curve cache in front of estimators.
+
+Request flow for ``estimate_many`` (the primary path):
+
+1. the request batch is grouped per registered estimator;
+2. each record's cache key is computed and the curve cache consulted;
+3. the records that miss are deduplicated and sent to the estimator as ONE
+   ``estimate_curve_many`` call (the micro-batch) over the endpoint's
+   canonical threshold grid;
+4. the returned monotone curves are cached, and every request — hit or miss —
+   is answered by indexing its record's curve at the requested threshold.
+
+Because curves are monotone in the threshold, a cached curve answers every
+future threshold for that record for free; the cache key is the featurized
+record, so repeated records across thresholds and across time all hit.
+
+The deferred API (``submit``/``flush``) accumulates single-query requests and
+flushes them as micro-batches once ``max_batch_size`` requests are queued for
+one estimator — the synchronous analogue of a request-queue server loop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cache import CurveCache
+from .registry import EstimatorRegistry, RegisteredEstimator
+from .telemetry import ServingTelemetry
+
+
+class PendingEstimate:
+    """Handle for a deferred single-query request; resolved at flush time.
+
+    A request whose micro-batch failed is *failed*, not retried: ``result()``
+    re-raises the original error.  Re-queueing would poison the service —
+    every later flush (including auto-flushes for unrelated endpoints) would
+    re-hit the same bad request forever.
+    """
+
+    __slots__ = ("estimator_name", "record", "theta", "_value", "_error")
+
+    def __init__(self, estimator_name: str, record: Any, theta: float) -> None:
+        self.estimator_name = estimator_name
+        self.record = record
+        self.theta = float(theta)
+        self._value: Optional[float] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self._value is not None or self._error is not None
+
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+    def _resolve(self, value: float) -> None:
+        self._value = float(value)
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+
+    def result(self) -> float:
+        if self._error is not None:
+            raise self._error
+        if self._value is None:
+            raise RuntimeError("pending estimate not flushed yet; call service.flush()")
+        return self._value
+
+
+class EstimationService:
+    """Serves cardinality estimates for every registered estimator."""
+
+    def __init__(
+        self,
+        registry: Optional[EstimatorRegistry] = None,
+        cache_capacity: int = 1024,
+        max_batch_size: int = 64,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.registry = registry if registry is not None else EstimatorRegistry()
+        self.cache = CurveCache(capacity=cache_capacity)
+        self.telemetry = ServingTelemetry()
+        self.max_batch_size = int(max_batch_size)
+        #: Deferred requests, queued per endpoint so one endpoint filling up
+        #: never prematurely flushes another's half-built micro-batch.
+        self._pending: Dict[str, List[PendingEstimate]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration convenience
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, estimator, **options) -> RegisteredEstimator:
+        """Register an estimator (see :meth:`EstimatorRegistry.register`)."""
+        entry = self.registry.register(name, estimator, **options)
+        # Defensive: if the name was ever served before (e.g. unregistered
+        # directly on the registry), make sure no stale curves survive.
+        self.cache.invalidate(name)
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove an endpoint AND its cached curves.
+
+        Always prefer this over ``registry.unregister`` when the registry is
+        attached to a service — the cache is keyed by endpoint name, so a
+        bare registry removal would let a later re-registration under the
+        same name serve the old estimator's curves.
+        """
+        self.registry.unregister(name)
+        self.cache.invalidate(name)
+
+    # ------------------------------------------------------------------ #
+    # Synchronous estimation
+    # ------------------------------------------------------------------ #
+    def estimate_many(
+        self, name: str, records: Sequence[Any], thetas: Sequence[float]
+    ) -> np.ndarray:
+        """Batched estimates for one estimator, answered from cached curves."""
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        thetas = np.asarray(thetas, dtype=np.float64)
+        if len(thetas) != len(records):
+            raise ValueError("records and thetas must have the same length")
+        start = time.perf_counter()
+        entry = self.registry.get(name)
+        curves = self._curves_for(entry, records)
+        columns = entry.curve_indices(thetas)  # one vectorized map per batch
+        answers = np.asarray(
+            [curve[column] for curve, column in zip(curves, columns)],
+            dtype=np.float64,
+        )
+        self.telemetry.record_latency(name, time.perf_counter() - start)
+        return answers
+
+    def estimate(self, name: str, record: Any, theta: float) -> float:
+        """Single-query estimate (a one-element batch through the curve path)."""
+        return float(self.estimate_many(name, [record], [theta])[0])
+
+    def estimate_curve(self, name: str, record: Any) -> np.ndarray:
+        """The full cached curve for one record (a copy; grid = entry's thetas)."""
+        start = time.perf_counter()
+        entry = self.registry.get(name)
+        curve = self._curves_for(entry, [record])[0]
+        self.telemetry.record_latency(name, time.perf_counter() - start)
+        return curve.copy()
+
+    # ------------------------------------------------------------------ #
+    # Deferred micro-batching
+    # ------------------------------------------------------------------ #
+    def submit(self, name: str, record: Any, theta: float) -> PendingEstimate:
+        """Queue one request; auto-flush once an estimator's queue fills up.
+
+        Auto-flush failures are NOT raised here — they may belong to a
+        different endpoint than the caller's, and every affected handle
+        already carries its error (``result()`` re-raises it).  Explicit
+        :meth:`flush` calls still raise.
+        """
+        self.registry.get(name)  # fail fast on unknown endpoints
+        pending = PendingEstimate(name, record, theta)
+        queue = self._pending.setdefault(name, [])
+        queue.append(pending)
+        if len(queue) >= self.max_batch_size:
+            try:
+                self.flush(name)  # only the endpoint whose batch filled up
+            except Exception:
+                pass
+        return pending
+
+    def flush(self, name: Optional[str] = None) -> int:
+        """Resolve queued requests — all endpoints, or just ``name``'s —
+        one micro-batch per estimator.
+
+        A failing endpoint does not wedge the service: its requests fail
+        (each handle's ``result()`` re-raises the error), other endpoints
+        still resolve, the queue fully drains, and the first error is
+        re-raised afterwards.
+        """
+        if name is None:
+            by_estimator, self._pending = self._pending, {}
+        else:
+            by_estimator = {name: self._pending.pop(name, [])}
+        resolved = 0
+        first_error: Optional[BaseException] = None
+        for name, requests in by_estimator.items():
+            if not requests:
+                continue
+            try:
+                answers = self.estimate_many(
+                    name,
+                    [request.record for request in requests],
+                    [request.theta for request in requests],
+                )
+            except Exception as error:
+                for request in requests:
+                    request._fail(error)
+                if first_error is None:
+                    first_error = error
+                continue
+            for request, answer in zip(requests, answers):
+                request._resolve(answer)
+            resolved += len(requests)
+        if first_error is not None:
+            raise first_error
+        return resolved
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(queue) for queue in self._pending.values())
+
+    # ------------------------------------------------------------------ #
+    # Cache maintenance
+    # ------------------------------------------------------------------ #
+    def invalidate(self, name: Optional[str] = None) -> int:
+        """Drop cached curves after a dataset update or retrain."""
+        if name is not None:
+            self.registry.get(name)
+        return self.cache.invalidate(name)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "cache": self.cache.stats(),
+            "endpoints": self.telemetry.snapshot(),
+            "registered": self.registry.names(),
+            "pending": self.pending_count,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _curves_for(
+        self, entry: RegisteredEstimator, records: Sequence[Any]
+    ) -> List[np.ndarray]:
+        """Curves aligned with ``records``, computing misses in one micro-batch."""
+        keys = [entry.key_for(record) for record in records]
+        curves: List[Optional[np.ndarray]] = []
+        missing: Dict[bytes, List[int]] = {}
+        hits = 0
+        for index, key in enumerate(keys):
+            curve = self.cache.get(entry.name, key)
+            curves.append(curve)
+            if curve is None:
+                missing.setdefault(key, []).append(index)
+            else:
+                hits += 1
+        self.telemetry.record_requests(
+            entry.name, len(records), hits, len(records) - hits
+        )
+        if missing:
+            # The micro-batch: every distinct uncached record in one model call.
+            representative_ids = [positions[0] for positions in missing.values()]
+            batch_records = [records[i] for i in representative_ids]
+            self.telemetry.record_batch(entry.name, len(batch_records))
+            grid = None if entry.canonical else entry.curve_thetas
+            fresh = entry.estimator.estimate_curve_many(batch_records, grid)
+            for key, curve in zip(missing.keys(), np.asarray(fresh)):
+                # Copy each row out of the batch matrix: caching a row VIEW
+                # would pin the whole micro-batch's memory for as long as any
+                # one of its curves stays cached.
+                curve = np.array(curve)
+                self.cache.put(entry.name, key, curve)
+                for position in missing[key]:
+                    curves[position] = curve
+        return curves  # type: ignore[return-value]

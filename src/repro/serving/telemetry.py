@@ -1,0 +1,89 @@
+"""Per-request telemetry for the estimation service.
+
+The service records, per registered estimator and globally: request counts,
+curve-cache hits/misses, the size of every micro-batch sent to a model, and
+wall-clock latency.  ``snapshot()`` returns a plain dict suitable for logging
+or for the benchmark harness to emit as JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class EndpointStats:
+    """Counters for one registered estimator (all O(1) memory — the service
+    may live for millions of micro-batches)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0
+    batched_records: int = 0
+    max_batch_size: int = 0
+    latency_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_records / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "latency_seconds": self.latency_seconds,
+            "mean_latency_seconds": (
+                self.latency_seconds / self.requests if self.requests else 0.0
+            ),
+        }
+
+
+class ServingTelemetry:
+    """Aggregates :class:`EndpointStats` per estimator plus a global view."""
+
+    def __init__(self) -> None:
+        self._endpoints: Dict[str, EndpointStats] = {}
+        self.total = EndpointStats()
+
+    def endpoint(self, name: str) -> EndpointStats:
+        if name not in self._endpoints:
+            self._endpoints[name] = EndpointStats()
+        return self._endpoints[name]
+
+    def record_requests(self, name: str, count: int, hits: int, misses: int) -> None:
+        for stats in (self.endpoint(name), self.total):
+            stats.requests += count
+            stats.cache_hits += hits
+            stats.cache_misses += misses
+
+    def record_batch(self, name: str, batch_size: int) -> None:
+        for stats in (self.endpoint(name), self.total):
+            stats.batches += 1
+            stats.batched_records += batch_size
+            stats.max_batch_size = max(stats.max_batch_size, batch_size)
+
+    def record_latency(self, name: str, seconds: float) -> None:
+        for stats in (self.endpoint(name), self.total):
+            stats.latency_seconds += seconds
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        report = {"total": self.total.snapshot()}
+        for name, stats in sorted(self._endpoints.items()):
+            report[name] = stats.snapshot()
+        return report
+
+    def reset(self) -> None:
+        self._endpoints.clear()
+        self.total = EndpointStats()

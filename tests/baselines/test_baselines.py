@@ -116,6 +116,10 @@ class TestDBSpecialized:
         values = [estimator.estimate(record, float(t)) for t in range(0, 13)]
         assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
 
+    def test_histogram_empty_dataset(self):
+        estimator = HistogramHammingEstimator(np.zeros((0, 16), dtype=np.uint8), group_size=8)
+        assert estimator.estimate(np.zeros(16, dtype=np.uint8), 4.0) == 0.0
+
     def test_qgram_edit_estimator(self, string_dataset, string_workload):
         estimator = QGramInvertedIndexEstimator(string_dataset.records)
         example = string_workload.test[0]

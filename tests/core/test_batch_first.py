@@ -1,0 +1,99 @@
+"""Batch-first interface contract: for EVERY estimator, the vectorized paths
+agree with the scalar path.
+
+* ``estimate_many`` equals the scalar ``estimate`` loop to within 1e-9;
+* ``estimate_curve_many`` columns equal ``estimate_batch`` at the grid
+  thresholds, and are monotone for monotone estimators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ESTIMATOR_NAMES, build_estimator
+
+#: Estimators exercised on the binary benchmark dataset (all of them build there).
+ALL_NAMES = list(ESTIMATOR_NAMES)
+
+#: Representatives with curve-specialized kernels on non-Hamming data types.
+DB_SE_FIXTURES = ["string_dataset", "set_dataset", "vector_dataset"]
+
+
+@pytest.fixture(scope="module")
+def fitted_estimators(binary_dataset, binary_workload):
+    """Every named estimator, trained cheaply once for the module."""
+    estimators = {}
+    for name in ALL_NAMES:
+        estimator = build_estimator(name, binary_dataset, seed=0, epochs=1)
+        estimator.fit(binary_workload.train[:80], binary_workload.validation[:20])
+        estimators[name] = estimator
+    return estimators
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_estimate_many_equals_scalar_loop(name, fitted_estimators, binary_workload):
+    estimator = fitted_estimators[name]
+    examples = binary_workload.test[:16]
+    batched = estimator.estimate_many(examples)
+    scalar = np.asarray(
+        [estimator.estimate(example.record, example.theta) for example in examples]
+    )
+    assert batched.shape == (len(examples),)
+    np.testing.assert_allclose(batched, scalar, rtol=1e-9, atol=1e-9)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_curve_columns_equal_batch_estimates(name, fitted_estimators, binary_dataset, binary_workload):
+    estimator = fitted_estimators[name]
+    records = [example.record for example in binary_workload.test[:6]]
+    grid = np.arange(int(binary_dataset.theta_max) + 1, dtype=np.float64)
+    curves = estimator.estimate_curve_many(records, grid)
+    assert curves.shape == (len(records), len(grid))
+    for column, theta in enumerate(grid):
+        direct = estimator.estimate_batch(records, np.full(len(records), theta))
+        np.testing.assert_allclose(curves[:, column], direct, rtol=1e-9, atol=1e-9)
+    if estimator.monotonic:
+        assert np.all(np.diff(curves, axis=1) >= -1e-9)
+
+
+@pytest.mark.parametrize("fixture_name", DB_SE_FIXTURES)
+def test_db_se_batch_scalar_agreement_per_distance(request, fixture_name):
+    """The distance-specialized DB-SE estimators agree batch-vs-scalar too."""
+    dataset = request.getfixturevalue(fixture_name)
+    estimator = build_estimator("DB-SE", dataset, seed=0)
+    records = list(dataset.records[:8])
+    rng = np.random.default_rng(0)
+    thetas = rng.uniform(0.0, dataset.theta_max, size=len(records))
+    if dataset.distance_name == "edit":
+        thetas = np.floor(thetas)
+    batched = estimator.estimate_batch(records, thetas)
+    scalar = np.asarray(
+        [estimator.estimate(record, float(theta)) for record, theta in zip(records, thetas)]
+    )
+    np.testing.assert_allclose(batched, scalar, rtol=1e-9, atol=1e-9)
+
+
+def test_cardnet_estimate_many_uses_vectorized_threshold_transform(
+    fitted_estimators, binary_workload, monkeypatch
+):
+    """CardNet's batch path must call ``transform_thresholds`` (one vectorized
+    call), never the per-example scalar ``transform_threshold`` loop."""
+    estimator = fitted_estimators["CardNet"]
+    calls = {"batch": 0, "scalar": 0}
+    original = type(estimator.extractor).transform_thresholds
+
+    def counting_batch(self, thetas):
+        calls["batch"] += 1
+        return original(self, thetas)
+
+    def counting_scalar(self, theta):
+        calls["scalar"] += 1
+        raise AssertionError("scalar transform_threshold used on the batch path")
+
+    monkeypatch.setattr(type(estimator.extractor), "transform_thresholds", counting_batch)
+    monkeypatch.setattr(type(estimator.extractor), "transform_threshold", counting_scalar)
+    try:
+        estimator.estimate_many(binary_workload.test[:8])
+    finally:
+        monkeypatch.undo()
+    assert calls["batch"] == 1
+    assert calls["scalar"] == 0

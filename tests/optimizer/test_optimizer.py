@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import KernelDensityEstimator, MeanEstimator
+from repro.core.interface import CardinalityEstimator
 from repro.optimizer import (
     ConjunctiveQuery,
     ConjunctiveQueryProcessor,
@@ -18,6 +19,26 @@ from repro.optimizer import (
 )
 from repro.baselines.simple import ExactEstimator
 from repro.selection import BallIndexEuclideanSelector
+
+
+class CountingEstimator(CardinalityEstimator):
+    """Wrapper counting how the optimizers call into an estimator."""
+
+    name = "Counting"
+    monotonic = True
+
+    def __init__(self, inner: CardinalityEstimator) -> None:
+        self.inner = inner
+        self.batch_calls = 0
+        self.curve_calls = 0
+
+    def estimate_batch(self, records, thetas):
+        self.batch_calls += 1
+        return self.inner.estimate_batch(records, thetas)
+
+    def estimate_curve_many(self, records, thetas=None):
+        self.curve_calls += 1
+        return self.inner.estimate_curve_many(records, thetas)
 
 
 # --------------------------------------------------------------------------- #
@@ -173,3 +194,132 @@ class TestGPH:
         assert execution.total_seconds == pytest.approx(
             execution.allocation_seconds + execution.processing_seconds
         )
+
+
+# --------------------------------------------------------------------------- #
+# Curve-batched estimation call counts (the batch-first rewiring contract)
+# --------------------------------------------------------------------------- #
+class TestCurveBatchedCalls:
+    @pytest.fixture(scope="class")
+    def records(self, binary_dataset):
+        return binary_dataset.records[:200]
+
+    @pytest.fixture(scope="class")
+    def processor(self, records):
+        return GPHQueryProcessor(records, part_size=8)
+
+    def _part_mean_estimators(self, processor, records):
+        """One fitted MeanEstimator per part, wrapped with call counters."""
+        from repro.workloads import QueryExample
+
+        estimators = []
+        for start, stop in processor.selector.parts:
+            width = stop - start
+            inner = MeanEstimator(theta_max=float(width), num_buckets=width + 1)
+            columns = records[:, start:stop]
+            examples = [
+                QueryExample(
+                    columns[0],
+                    float(t),
+                    int(
+                        np.count_nonzero(
+                            np.count_nonzero(columns != columns[0][None, :], axis=1) <= t
+                        )
+                    ),
+                )
+                for t in range(width + 1)
+            ]
+            estimators.append(CountingEstimator(inner.fit(examples)))
+        return estimators
+
+    def test_gph_allocation_issues_one_curve_call_per_part(self, processor, records):
+        estimators = self._part_mean_estimators(processor, records)
+        adapter = model_part_estimator(processor, estimators)
+        processor.allocate(records[0], 8, adapter)
+        for estimator in estimators:
+            assert estimator.curve_calls == 1
+            assert estimator.batch_calls == 0  # no per-threshold scalar calls
+
+    def test_gph_legacy_callable_still_supported(self, processor, records):
+        calls = []
+
+        def legacy(part_index, part_bits, threshold):
+            calls.append((part_index, threshold))
+            return 1.0
+
+        allocation = processor.allocate(records[0], 8, legacy)
+        assert sum(allocation) >= processor.allocation_budget(8)
+        assert calls  # the scalar fallback fetched the curves point by point
+
+    def test_gph_curve_path_allocates_like_scalar_path(self, processor, records):
+        """Curve-batched and scalar-loop estimation must yield identical plans."""
+        exact = exact_part_estimator(processor, records)
+
+        def scalar_view(part_index, part_bits, threshold):
+            return exact(part_index, part_bits, threshold)
+
+        rng = np.random.default_rng(5)
+        for _ in range(4):
+            query = records[rng.integers(0, len(records))]
+            threshold = int(rng.integers(4, 12))
+            assert processor.allocate(query, threshold, exact) == processor.allocate(
+                query, threshold, scalar_view
+            )
+
+    def test_conjunctive_batch_planning_one_call_per_attribute(self, relation):
+        processor = ConjunctiveQueryProcessor(relation, num_pivots=8, seed=0)
+        queries = generate_conjunctive_queries(relation, num_queries=6, seed=2)
+        estimators = {
+            attribute: CountingEstimator(
+                KernelDensityEstimator(matrix, "euclidean", sample_size=40, seed=0)
+            )
+            for attribute, matrix in relation.attributes.items()
+        }
+        report = run_conjunctive_workload(processor, queries, estimators)
+        assert report.num_queries == len(queries)
+        for estimator in estimators.values():
+            assert estimator.batch_calls == 1  # whole workload in one batched call
+            assert estimator.curve_calls == 0
+
+    def test_conjunctive_tie_break_matches_legacy(self, relation):
+        """Tied estimates must break by each query's own predicate order in
+        both planning modes (the argmin tie-break is insertion order)."""
+
+        class ConstantEstimator(CardinalityEstimator):
+            monotonic = True
+
+            def estimate_batch(self, records, thetas):
+                return np.full(len(records), 7.0)
+
+        processor = ConjunctiveQueryProcessor(relation, num_pivots=8, seed=0)
+        queries = generate_conjunctive_queries(relation, num_queries=4, seed=4)
+        # Reverse one query's predicate order so insertion order differs per query.
+        queries[1] = ConjunctiveQuery(predicates=list(reversed(queries[1].predicates)))
+        estimators = {attribute: ConstantEstimator() for attribute in relation.attribute_names}
+        batched = run_conjunctive_workload(processor, queries, estimators, batch_planning=True)
+        legacy = run_conjunctive_workload(processor, queries, estimators, batch_planning=False)
+        assert [e.chosen_attribute for e in batched.executions] == [
+            e.chosen_attribute for e in legacy.executions
+        ]
+        # And the tie-break follows each query's first predicate.
+        assert batched.executions[1].chosen_attribute == queries[1].predicates[0].attribute
+
+    def test_conjunctive_batch_planning_same_plans_as_legacy(self, relation):
+        processor = ConjunctiveQueryProcessor(relation, num_pivots=8, seed=0)
+        queries = generate_conjunctive_queries(relation, num_queries=6, seed=3)
+        estimators = {
+            attribute: ExactEstimator(
+                BallIndexEuclideanSelector(matrix, num_pivots=8, seed=0)
+            )
+            for attribute, matrix in relation.attributes.items()
+        }
+        batched = run_conjunctive_workload(processor, queries, estimators, batch_planning=True)
+        legacy = run_conjunctive_workload(processor, queries, estimators, batch_planning=False)
+        assert [e.chosen_attribute for e in batched.executions] == [
+            e.chosen_attribute for e in legacy.executions
+        ]
+        assert [e.result_ids for e in batched.executions] == [
+            e.result_ids for e in legacy.executions
+        ]
+        assert batched.total_candidates == legacy.total_candidates
+        assert batched.planning_precision == legacy.planning_precision

@@ -1,0 +1,387 @@
+"""Tests for the serving layer: registry, curve cache, micro-batching service.
+
+The load-bearing guarantees:
+
+* cache-hit answers are bit-identical to the cold path;
+* batching/caching preserve monotonicity in the threshold;
+* dataset updates (via :class:`IncrementalUpdateManager`) invalidate cached
+  curves, and post-update answers match direct estimation again.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import UniformSamplingEstimator
+from repro.core import IncrementalUpdateManager
+from repro.datasets import generate_update_stream
+from repro.selection import default_selector
+from repro.serving import (
+    CurveCache,
+    EstimationService,
+    EstimatorRegistry,
+    default_record_key,
+)
+
+
+@pytest.fixture
+def service(trained_cardnet):
+    service = EstimationService(cache_capacity=256, max_batch_size=8)
+    service.register("cardnet/hm", trained_cardnet, distance_name="hamming")
+    return service
+
+
+@pytest.fixture
+def test_queries(binary_workload):
+    examples = binary_workload.test[:30]
+    records = [example.record for example in examples]
+    thetas = [example.theta for example in examples]
+    return records, thetas
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_register_and_lookup(self, trained_cardnet):
+        registry = EstimatorRegistry()
+        entry = registry.register("a", trained_cardnet)
+        assert registry.get("a") is entry
+        assert "a" in registry and registry.names() == ["a"]
+        assert entry.canonical  # CardNet supplies its own grid
+
+    def test_duplicate_name_rejected(self, trained_cardnet):
+        registry = EstimatorRegistry()
+        registry.register("a", trained_cardnet)
+        with pytest.raises(KeyError):
+            registry.register("a", trained_cardnet)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            EstimatorRegistry().get("nope")
+
+    def test_gridless_estimator_requires_theta_max(self, binary_dataset):
+        estimator = UniformSamplingEstimator(binary_dataset.records, "hamming", seed=0)
+        registry = EstimatorRegistry()
+        with pytest.raises(ValueError):
+            registry.register("us", estimator)
+        entry = registry.register("us", estimator, theta_max=binary_dataset.theta_max)
+        assert not entry.canonical
+        assert entry.curve_thetas[0] == 0.0
+        assert entry.curve_thetas[-1] == pytest.approx(binary_dataset.theta_max)
+
+    def test_unregister(self, trained_cardnet):
+        registry = EstimatorRegistry()
+        registry.register("a", trained_cardnet)
+        registry.unregister("a")
+        assert "a" not in registry
+
+    def test_default_record_key_types(self):
+        vector = np.asarray([1.0, 0.0, 0.0])
+        assert default_record_key(vector) == default_record_key(vector.copy())
+        assert default_record_key(vector) != default_record_key(vector[::-1].copy())
+        assert default_record_key("abc") != default_record_key("abd")
+        assert default_record_key(frozenset({3, 1})) == default_record_key({1, 3})
+
+
+# --------------------------------------------------------------------------- #
+# Curve cache
+# --------------------------------------------------------------------------- #
+class TestCurveCache:
+    def test_lru_eviction(self):
+        cache = CurveCache(capacity=2)
+        cache.put("e", b"a", np.zeros(3))
+        cache.put("e", b"b", np.ones(3))
+        cache.get("e", b"a")  # refresh "a"
+        cache.put("e", b"c", np.full(3, 2.0))  # evicts "b"
+        assert cache.get("e", b"a") is not None
+        assert cache.get("e", b"b") is None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_invalidate_single_estimator(self):
+        cache = CurveCache(capacity=8)
+        cache.put("x", b"k", np.zeros(2))
+        cache.put("y", b"k", np.zeros(2))
+        assert cache.invalidate("x") == 1
+        assert cache.get("x", b"k") is None
+        assert cache.get("y", b"k") is not None
+
+    def test_invalidate_all(self):
+        cache = CurveCache(capacity=8)
+        cache.put("x", b"k", np.zeros(2))
+        cache.put("y", b"k", np.zeros(2))
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CurveCache(capacity=0)
+
+
+# --------------------------------------------------------------------------- #
+# Service: correctness of the cached curve path
+# --------------------------------------------------------------------------- #
+class TestServiceCorrectness:
+    def test_cache_hits_bit_identical_to_cold_path(self, service, test_queries):
+        records, thetas = test_queries
+        cold = service.estimate_many("cardnet/hm", records, thetas)
+        assert service.cache.misses > 0
+        warm = service.estimate_many("cardnet/hm", records, thetas)
+        assert np.array_equal(cold, warm)
+        assert service.cache.hits >= len(records)
+
+    def test_cold_path_matches_direct_estimation(self, service, trained_cardnet, binary_workload):
+        examples = binary_workload.test[:30]
+        served = service.estimate_many(
+            "cardnet/hm",
+            [example.record for example in examples],
+            [example.theta for example in examples],
+        )
+        direct = trained_cardnet.estimate_many(examples)
+        assert served == pytest.approx(direct, abs=1e-9)
+
+    def test_single_estimate_equals_batched(self, service, test_queries):
+        records, thetas = test_queries
+        batched = service.estimate_many("cardnet/hm", records[:5], thetas[:5])
+        singles = [
+            service.estimate("cardnet/hm", record, theta)
+            for record, theta in zip(records[:5], thetas[:5])
+        ]
+        assert singles == pytest.approx(batched, abs=0.0)
+
+    def test_monotone_through_batching_and_caching(self, service, binary_dataset):
+        record = binary_dataset.records[3]
+        grid = np.linspace(0.0, binary_dataset.theta_max, 9)
+        # Interleave other records so the batch mixes hits, misses, and records.
+        other = binary_dataset.records[4]
+        records = [record, other] * len(grid)
+        thetas = np.repeat(grid, 2)
+        answers = service.estimate_many("cardnet/hm", records, thetas)
+        curve_of_record = answers[0::2]
+        assert np.all(np.diff(curve_of_record) >= -1e-9)
+        # And again, now answered fully from cache.
+        cached = service.estimate_many("cardnet/hm", [record] * len(grid), grid)
+        assert np.all(np.diff(cached) >= -1e-9)
+        assert np.array_equal(cached, curve_of_record)
+
+    def test_estimate_curve_is_monotone_and_cached(self, service, binary_dataset):
+        record = binary_dataset.records[0]
+        curve = service.estimate_curve("cardnet/hm", record)
+        assert np.all(np.diff(curve) >= -1e-9)
+        again = service.estimate_curve("cardnet/hm", record)
+        assert np.array_equal(curve, again)
+
+    def test_quantized_grid_estimator(self, binary_dataset, test_queries):
+        """A gridless baseline serves through a uniform θ grid, consistently."""
+        estimator = UniformSamplingEstimator(binary_dataset.records, "hamming", seed=0)
+        service = EstimationService()
+        # Hamming thresholds are integers, so an integer grid is exact.
+        service.register(
+            "us/hm",
+            estimator,
+            curve_thetas=np.arange(int(binary_dataset.theta_max) + 1, dtype=np.float64),
+        )
+        records, thetas = test_queries
+        cold = service.estimate_many("us/hm", records, thetas)
+        warm = service.estimate_many("us/hm", records, thetas)
+        assert np.array_equal(cold, warm)
+        direct = estimator.estimate_batch(records, np.floor(np.asarray(thetas)))
+        assert cold == pytest.approx(direct, abs=1e-9)
+
+    def test_mismatched_lengths_rejected(self, service, test_queries):
+        records, thetas = test_queries
+        with pytest.raises(ValueError):
+            service.estimate_many("cardnet/hm", records[:3], thetas[:2])
+
+    def test_empty_batch(self, service):
+        assert service.estimate_many("cardnet/hm", [], []).shape == (0,)
+
+
+# --------------------------------------------------------------------------- #
+# Service: micro-batching, telemetry, deferred API
+# --------------------------------------------------------------------------- #
+class TestMicroBatching:
+    def test_distinct_records_form_one_micro_batch(self, service, binary_dataset):
+        records = [binary_dataset.records[i] for i in range(6)]
+        thetas = [4.0] * 6
+        service.estimate_many("cardnet/hm", records, thetas)
+        stats = service.telemetry.endpoint("cardnet/hm")
+        assert stats.batches == 1
+        assert stats.max_batch_size == 6 and stats.batched_records == 6
+
+    def test_duplicate_records_deduplicated_in_batch(self, service, binary_dataset):
+        record = binary_dataset.records[0]
+        service.estimate_many("cardnet/hm", [record] * 10, np.linspace(0, 10, 10))
+        stats = service.telemetry.endpoint("cardnet/hm")
+        assert stats.batches == 1
+        assert stats.max_batch_size == 1  # ten requests, one distinct record
+        assert stats.cache_misses == 10 and stats.cache_hits == 0
+        # Any later threshold for that record is answered from the cached curve.
+        service.estimate_many("cardnet/hm", [record] * 10, np.linspace(0, 10, 10))
+        assert service.telemetry.endpoint("cardnet/hm").cache_hits == 10
+
+    def test_submit_flush_roundtrip(self, service, test_queries):
+        records, thetas = test_queries
+        direct = service.estimate_many("cardnet/hm", records[:4], thetas[:4])
+        service.invalidate()
+        pending = [
+            service.submit("cardnet/hm", record, theta)
+            for record, theta in zip(records[:4], thetas[:4])
+        ]
+        assert service.pending_count == 4
+        service.flush()
+        assert service.pending_count == 0
+        assert [p.result() for p in pending] == pytest.approx(direct, abs=0.0)
+
+    def test_submit_autoflushes_at_max_batch_size(self, trained_cardnet, binary_dataset):
+        service = EstimationService(max_batch_size=3)
+        service.register("m", trained_cardnet)
+        handles = [
+            service.submit("m", binary_dataset.records[i], 4.0) for i in range(3)
+        ]
+        assert all(handle.done for handle in handles)
+        assert service.pending_count == 0
+
+    def test_autoflush_leaves_other_endpoints_queued(self, trained_cardnet, binary_dataset):
+        """One endpoint filling its batch must not flush another's half-built one."""
+        service = EstimationService(max_batch_size=2)
+        service.register("a", trained_cardnet)
+        service.register("b", trained_cardnet)
+        slow = service.submit("b", binary_dataset.records[0], 3.0)
+        service.submit("a", binary_dataset.records[1], 3.0)
+        service.submit("a", binary_dataset.records[2], 3.0)  # fills a's batch
+        assert not slow.done                 # b's micro-batch keeps accumulating
+        assert service.pending_count == 1
+        service.flush()
+        assert slow.result() >= 0.0
+
+    def test_unflushed_result_raises(self, service, binary_dataset):
+        pending = service.submit("cardnet/hm", binary_dataset.records[0], 2.0)
+        with pytest.raises(RuntimeError):
+            pending.result()
+        service.flush()
+        assert pending.result() >= 0.0
+
+    def test_unregister_drops_cached_curves(self, trained_cardnet, binary_dataset):
+        """Re-registering a name must never serve the old estimator's curves."""
+        service = EstimationService()
+        service.register("m", trained_cardnet)
+        service.estimate("m", binary_dataset.records[0], 4.0)
+        assert service.stats()["cache"]["size"] == 1
+        service.unregister("m")
+        assert "m" not in service.registry
+        assert service.stats()["cache"]["size"] == 0
+
+    def test_flush_failure_fails_only_failing_endpoint(
+        self, trained_cardnet, binary_dataset
+    ):
+        service = EstimationService()
+        service.register("good", trained_cardnet)
+        service.register("bad", trained_cardnet)
+        ok = service.submit("good", binary_dataset.records[0], 4.0)
+        # θ beyond theta_max makes the extractor raise inside estimate_many.
+        broken = service.submit("bad", binary_dataset.records[1], 10_000.0)
+        with pytest.raises(ValueError):
+            service.flush()
+        assert ok.done and ok.result() >= 0.0      # healthy endpoint resolved
+        assert broken.failed                       # bad request carries its error
+        with pytest.raises(ValueError):
+            broken.result()
+        assert service.pending_count == 0          # queue drained — no poisoning
+        # The service keeps working afterwards.
+        again = service.submit("good", binary_dataset.records[2], 3.0)
+        service.flush()
+        assert again.result() >= 0.0
+
+    def test_telemetry_snapshot(self, service, test_queries):
+        records, thetas = test_queries
+        service.estimate_many("cardnet/hm", records, thetas)
+        report = service.stats()
+        assert report["registered"] == ["cardnet/hm"]
+        endpoint = report["endpoints"]["cardnet/hm"]
+        assert endpoint["requests"] == len(records)
+        assert 0.0 <= endpoint["hit_rate"] <= 1.0
+        assert endpoint["latency_seconds"] > 0.0
+        assert report["cache"]["size"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Cache invalidation on dataset updates
+# --------------------------------------------------------------------------- #
+class TestUpdateInvalidation:
+    @pytest.fixture
+    def fresh_setup(self, binary_dataset, binary_workload):
+        """A private estimator/service pair — retraining here must not mutate
+        the session-shared ``trained_cardnet`` fixture other tests rely on."""
+        from repro.core import CardNetEstimator
+
+        estimator = CardNetEstimator.for_dataset(
+            binary_dataset, epochs=2, vae_pretrain_epochs=1, seed=9
+        )
+        estimator.fit(binary_workload.train[:60], binary_workload.validation[:20])
+        service = EstimationService(cache_capacity=256)
+        service.register("cardnet/hm", estimator, distance_name="hamming")
+        return estimator, service
+
+    def _manager(self, estimator, dataset, workload, service, **options):
+        return IncrementalUpdateManager(
+            estimator,
+            default_selector("hamming", dataset.records),
+            workload.train[:60],
+            workload.validation[:20],
+            service=service,
+            service_endpoint="cardnet/hm",
+            **options,
+        )
+
+    def test_service_requires_endpoint_name(self, trained_cardnet, binary_dataset, binary_workload):
+        service = EstimationService()
+        with pytest.raises(ValueError):
+            IncrementalUpdateManager(
+                trained_cardnet,
+                default_selector("hamming", binary_dataset.records),
+                binary_workload.train,
+                binary_workload.validation,
+                service=service,
+            )
+
+    def test_update_invalidates_cached_curves(
+        self, fresh_setup, binary_dataset, binary_workload, test_queries
+    ):
+        estimator, service = fresh_setup
+        records, thetas = test_queries
+        service.estimate_many("cardnet/hm", records, thetas)
+        cached_before = service.stats()["cache"]["size"]
+        assert cached_before > 0
+        manager = self._manager(estimator, binary_dataset, binary_workload, service)
+        operations = generate_update_stream(
+            binary_dataset, num_operations=1, records_per_operation=20, seed=3
+        )
+        manager.process(operations[0])
+        # The stale curves were dropped (revalidation then refills the cache).
+        assert service.cache.invalidations >= cached_before
+
+    def test_post_update_answers_match_direct_estimation(
+        self, fresh_setup, binary_dataset, binary_workload, test_queries
+    ):
+        estimator, service = fresh_setup
+        records, thetas = test_queries
+        before = service.estimate_many("cardnet/hm", records, thetas)
+        manager = self._manager(
+            estimator,
+            binary_dataset,
+            binary_workload,
+            service,
+            # Force the retrain path so the model parameters actually move.
+            error_tolerance=-1.0,
+            max_epochs_per_update=1,
+        )
+        operations = generate_update_stream(
+            binary_dataset, num_operations=1, records_per_operation=30, seed=4
+        )
+        report = manager.process(operations[0])
+        assert report.retrained
+        served = service.estimate_many("cardnet/hm", records, thetas)
+        direct = estimator.estimate_batch(records, np.asarray(thetas))
+        assert served == pytest.approx(direct, abs=1e-9)
+        assert not np.array_equal(served, before)  # the retrain actually moved it
