@@ -9,15 +9,17 @@ Public API highlights
 * :mod:`repro.baselines` — every estimator the paper compares against.
 * :mod:`repro.optimizer` — the query-optimizer case studies (§9.11).
 * :mod:`repro.serving` — registry + micro-batching service + curve cache.
+* :mod:`repro.engine` — end-to-end query engine (plan → execute → feedback).
 """
 
 from .core import CardinalityEstimator, CardNet, CardNetConfig, CardNetEstimator
 from .datasets import DEFAULT_DATASETS, load_dataset
+from .engine import ConjunctiveQuery, SimilarityPredicate, SimilarityQueryEngine
 from .metrics import AccuracyReport, mape, mean_q_error, mse
 from .serving import CurveCache, EstimationService, EstimatorRegistry
 from .workloads import Workload, build_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CardNet",
@@ -27,6 +29,9 @@ __all__ = [
     "EstimationService",
     "EstimatorRegistry",
     "CurveCache",
+    "SimilarityQueryEngine",
+    "SimilarityPredicate",
+    "ConjunctiveQuery",
     "load_dataset",
     "DEFAULT_DATASETS",
     "build_workload",

@@ -4,7 +4,7 @@ from .cardnet import CardNet, CardNetConfig
 from .decoders import PerDistanceDecoders
 from .encoder import AcceleratedEncoder, DistanceEmbedding, SharedEncoder
 from .estimator import CardNetEstimator
-from .incremental import IncrementalUpdateManager, UpdateStepReport
+from .incremental import IncrementalUpdateManager, RevalidationReport, UpdateStepReport
 from .interface import CardinalityEstimator
 from .loss import DynamicLossWeights, empirical_tau_distribution, weighted_msle
 from .training import (
@@ -37,4 +37,5 @@ __all__ = [
     "empirical_tau_distribution",
     "IncrementalUpdateManager",
     "UpdateStepReport",
+    "RevalidationReport",
 ]

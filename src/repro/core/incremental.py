@@ -48,6 +48,16 @@ class UpdateStepReport:
     epochs_run: int
 
 
+@dataclass
+class RevalidationReport:
+    """Outcome of a drift-triggered revalidation (no dataset change applied)."""
+
+    validation_msle_before: float
+    validation_msle_after: float
+    retrained: bool
+    epochs_run: int
+
+
 class IncrementalUpdateManager:
     """Applies update operations to the dataset and keeps a CardNet estimator fresh."""
 
@@ -98,6 +108,60 @@ class IncrementalUpdateManager:
         )
         actual = np.asarray([example.cardinality for example in examples], dtype=np.float64)
         return msle(actual, estimates)
+
+    def ensure_baseline(self) -> float:
+        """Measure and pin the model's healthy validation error if not yet set.
+
+        Called when the manager is wired into a serving/feedback stack while
+        the model is known-good: a later drift-triggered :meth:`revalidate`
+        then has a reference to detect degradation against.  Without it, the
+        first revalidation would adopt the (possibly already drifted) error as
+        its baseline and never retrain.
+        """
+        if self._baseline_validation_error is None:
+            self._baseline_validation_error = self._validation_msle()
+        return self._baseline_validation_error
+
+    def revalidate(self, force_retrain: bool = False) -> RevalidationReport:
+        """Revalidate (and retrain if degraded) without applying an update.
+
+        This is the entry point a serving-side feedback loop calls when
+        observed cardinalities drift from the estimates (the engine's
+        :class:`repro.engine.FeedbackMonitor`): validation labels are
+        refreshed against the *current* dataset, the error is measured through
+        the serving path, and — if it degraded past tolerance, or
+        ``force_retrain`` — training labels are refreshed and the model is
+        trained further from its current parameters, exactly as in
+        :meth:`process` steps 1–2.
+        """
+        self.validation_examples = relabel(self.validation_examples, self.selector)
+        error_before = self._validation_msle()
+        if self._baseline_validation_error is None:
+            self._baseline_validation_error = error_before
+
+        retrained = False
+        epochs_run = 0
+        error_after = error_before
+        if force_retrain or error_before > self._baseline_validation_error + self.error_tolerance:
+            self.train_examples = relabel(self.train_examples, self.selector)
+            result = self.estimator.incremental_fit(
+                self.train_examples,
+                self.validation_examples,
+                max_epochs=self.max_epochs_per_update,
+            )
+            retrained = True
+            epochs_run = result.epochs_run
+            self._invalidate_serving_cache()
+            error_after = self._validation_msle()
+            self._baseline_validation_error = error_after
+        else:
+            self._baseline_validation_error = min(self._baseline_validation_error, error_before)
+        return RevalidationReport(
+            validation_msle_before=error_before,
+            validation_msle_after=error_after,
+            retrained=retrained,
+            epochs_run=epochs_run,
+        )
 
     def process(self, operation: UpdateOperation, operation_index: int = 0) -> UpdateStepReport:
         """Apply one update operation and retrain incrementally if needed."""

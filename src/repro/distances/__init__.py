@@ -1,7 +1,7 @@
 """Distance functions used by the paper: Hamming, edit, Jaccard, Euclidean."""
 
 from .base import DistanceFunction
-from .edit import EditDistance, levenshtein, levenshtein_within
+from .edit import EditDistance, batch_levenshtein, levenshtein, levenshtein_within
 from .euclidean import EuclideanDistance, normalize_rows
 from .hamming import (
     HammingDistance,
@@ -22,6 +22,7 @@ __all__ = [
     "packed_hamming_distances",
     "levenshtein",
     "levenshtein_within",
+    "batch_levenshtein",
     "jaccard_similarity",
     "as_frozenset",
     "normalize_rows",

@@ -1,4 +1,4 @@
-"""Levenshtein edit distance on strings, with a banded early-exit variant."""
+"""Levenshtein edit distance on strings, with banded and batched variants."""
 
 from __future__ import annotations
 
@@ -72,6 +72,56 @@ def levenshtein_within(x: str, y: str, threshold: int) -> Optional[int]:
     return result if result <= threshold else None
 
 
+def batch_levenshtein(
+    x: str, candidates: Sequence[str], threshold: Optional[int] = None
+) -> np.ndarray:
+    """Edit distances from ``x`` to every candidate, vectorized over candidates.
+
+    One dynamic program runs for all candidates at once: candidates are padded
+    into a character-code matrix and each DP row is computed with vectorized
+    numpy operations.  The insertion recurrence ``d[j] = min(b[j-1], d[j-1]+1)``
+    unrolls to ``d[j] = j + min(i, min_{k<=j}(b[k-1] - k))`` — a prefix minimum
+    — so the only Python loop is over the characters of ``x``.
+
+    With ``threshold`` the DP stops as soon as every candidate's row minimum
+    (a lower bound on its final distance, non-decreasing across rows) exceeds
+    it; entries whose true distance exceeds ``threshold`` are then only
+    guaranteed to be reported as some value ``> threshold``.
+    """
+    num_candidates = len(candidates)
+    if num_candidates == 0:
+        return np.zeros(0, dtype=np.int64)
+    lengths = np.fromiter((len(c) for c in candidates), dtype=np.int64, count=num_candidates)
+    max_length = int(lengths.max())
+    if not x:
+        return lengths.copy()
+    if max_length == 0:
+        return np.full(num_candidates, len(x), dtype=np.int64)
+
+    codes = np.full((num_candidates, max_length), -1, dtype=np.int64)
+    for row, candidate in enumerate(candidates):
+        if candidate:
+            codes[row, : len(candidate)] = np.fromiter(
+                map(ord, candidate), dtype=np.int64, count=len(candidate)
+            )
+
+    columns = np.arange(1, max_length + 1, dtype=np.int64)
+    previous = np.broadcast_to(
+        np.arange(max_length + 1, dtype=np.int64), (num_candidates, max_length + 1)
+    ).copy()
+    current = np.empty_like(previous)
+    for i, char_x in enumerate(x, start=1):
+        cost = (codes != ord(char_x)).astype(np.int64)
+        best = np.minimum(previous[:, :-1] + cost, previous[:, 1:] + 1)
+        running = np.minimum.accumulate(best - columns[None, :], axis=1)
+        current[:, 0] = i
+        current[:, 1:] = np.minimum(running, i) + columns[None, :]
+        previous, current = current, previous
+        if threshold is not None and previous.min(axis=1).min() > threshold:
+            break
+    return previous[np.arange(num_candidates), lengths]
+
+
 class EditDistance(DistanceFunction):
     """Levenshtein distance between strings."""
 
@@ -80,6 +130,18 @@ class EditDistance(DistanceFunction):
 
     def distance(self, x: str, y: str) -> float:
         return float(levenshtein(x, y))
+
+    def distances_to(self, x: str, dataset: Sequence[str]) -> np.ndarray:
+        return batch_levenshtein(str(x), [str(record) for record in dataset]).astype(np.float64)
+
+    def cross_distances(self, queries: Sequence[str], dataset: Sequence[str]) -> np.ndarray:
+        """(n_queries, n_records) edit distances, one batched DP per query."""
+        dataset = [str(record) for record in dataset]
+        if len(queries) == 0:
+            return np.zeros((0, len(dataset)))
+        return np.stack(
+            [batch_levenshtein(str(query), dataset).astype(np.float64) for query in queries]
+        )
 
     def count_within(self, x: str, dataset: Sequence[str], threshold: float) -> int:
         threshold_int = int(threshold)

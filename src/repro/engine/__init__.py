@@ -1,0 +1,34 @@
+"""End-to-end similarity query engine: spec → plan → execute → feedback.
+
+The fourth layer of the stack.  Declarative query specs
+(:class:`SimilarityPredicate`, :class:`ConjunctiveQuery`) are planned against
+served cardinality estimates (predicate order + GPH part allocations), run
+exactly through the selection indexes with vectorized verification, and every
+execution feeds its observed cardinality back into a drift monitor that
+flushes stale curves and drives incremental revalidation.
+"""
+
+from .catalog import AttributeBinding, AttributeCatalog
+from .engine import SimilarityQueryEngine
+from .executor import QueryExecutor, QueryResult
+from .feedback import DriftEvent, FeedbackMonitor
+from .planner import PlannedPredicate, QueryPlan, QueryPlanner, ServicePartCurves
+from .spec import ConjunctiveQuery, SimilarityPredicate, as_queries, as_query
+
+__all__ = [
+    "SimilarityPredicate",
+    "ConjunctiveQuery",
+    "as_query",
+    "as_queries",
+    "AttributeBinding",
+    "AttributeCatalog",
+    "QueryPlanner",
+    "QueryPlan",
+    "PlannedPredicate",
+    "ServicePartCurves",
+    "QueryExecutor",
+    "QueryResult",
+    "FeedbackMonitor",
+    "DriftEvent",
+    "SimilarityQueryEngine",
+]

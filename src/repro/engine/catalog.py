@@ -1,0 +1,117 @@
+"""Attribute catalog: everything the engine knows about the data it serves.
+
+One :class:`AttributeBinding` per registered attribute bundles the physical
+access paths the planner and executor need — the raw column, its distance
+function, the exact selection index, and the serving endpoint(s) answering
+cardinality estimates for it.  The catalog enforces the single table-shape
+invariant (every attribute has the same record count, so record ids line up
+across predicates of one conjunctive query) and owns rebuilds after updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..distances import DistanceFunction, get_distance
+from ..selection import PigeonholeHammingSelector, SimilaritySelector, default_selector
+
+
+@dataclass(eq=False)
+class AttributeBinding:
+    """Physical metadata for one queryable attribute."""
+
+    name: str
+    records: Sequence
+    distance: DistanceFunction
+    selector: SimilaritySelector
+    endpoint: str
+    theta_max: float
+    #: Per-part serving endpoints, present only for GPH-planned Hamming
+    #: attributes (one endpoint per pigeonhole part).
+    part_endpoints: List[str] = field(default_factory=list)
+    #: Bumped on every :meth:`replace_records`; consumers (feedback manager
+    #: links) use it to detect that their dataset view went stale.
+    version: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def uses_gph(self) -> bool:
+        """Whether the planner allocates per-part thresholds for this attribute."""
+        return bool(self.part_endpoints) and isinstance(
+            self.selector, PigeonholeHammingSelector
+        )
+
+    def values_at(self, record_ids: np.ndarray) -> Sequence:
+        """Column values at ``record_ids`` (vectorized for array columns)."""
+        if isinstance(self.records, np.ndarray):
+            return self.records[record_ids]
+        return [self.records[int(record_id)] for record_id in record_ids]
+
+    def replace_records(self, records: Sequence) -> None:
+        """Point the binding at an updated column and rebuild its index."""
+        self.records = records
+        self.selector = self.selector.rebuild(records)
+        self.version += 1
+
+
+class AttributeCatalog:
+    """Named attribute bindings with an aligned-length invariant."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, AttributeBinding] = {}
+
+    def add(
+        self,
+        name: str,
+        records: Sequence,
+        distance_name: str,
+        endpoint: str,
+        theta_max: float,
+        selector: Optional[SimilaritySelector] = None,
+    ) -> AttributeBinding:
+        if name in self._bindings:
+            raise KeyError(f"attribute {name!r} is already registered")
+        if len(records) == 0:
+            raise ValueError(f"attribute {name!r} has no records")
+        for other in self._bindings.values():
+            if len(other.records) != len(records):
+                raise ValueError(
+                    f"attribute {name!r} has {len(records)} records but "
+                    f"{other.name!r} has {len(other.records)}; conjunctive queries "
+                    "need aligned record ids across attributes"
+                )
+        binding = AttributeBinding(
+            name=name,
+            records=records,
+            distance=get_distance(distance_name),
+            selector=selector if selector is not None else default_selector(distance_name, records),
+            endpoint=endpoint,
+            theta_max=float(theta_max),
+        )
+        self._bindings[name] = binding
+        return binding
+
+    def get(self, name: str) -> AttributeBinding:
+        try:
+            return self._bindings[name]
+        except KeyError as error:
+            raise KeyError(
+                f"unknown attribute {name!r}; registered: {sorted(self._bindings)}"
+            ) from error
+
+    def names(self) -> List[str]:
+        return sorted(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __iter__(self):
+        return iter(self._bindings.values())

@@ -1,0 +1,272 @@
+"""The similarity query engine: spec → plan → execute → feedback.
+
+:class:`SimilarityQueryEngine` is the fourth layer of the stack, composing
+everything below it into a system that answers similarity queries end to end:
+
+* attributes register with their records, distance, exact index, and a
+  cardinality estimator served through an :class:`~repro.serving.EstimationService`;
+* queries are declarative (:mod:`repro.engine.spec`); the planner orders
+  predicates and allocates GPH thresholds from served estimates, the executor
+  answers exactly through the indexes;
+* every execution feeds the observed driver cardinality back into the
+  :class:`~repro.engine.feedback.FeedbackMonitor`, which flushes stale curves
+  and drives incremental revalidation/retraining when estimates drift;
+* dataset updates go through :meth:`apply_update`, which routes through the
+  attached :class:`~repro.core.IncrementalUpdateManager` (paper §8) and keeps
+  the engine's indexes and per-part endpoints in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.db_specialized import HistogramHammingEstimator
+from ..core.incremental import IncrementalUpdateManager, UpdateStepReport
+from ..core.interface import CardinalityEstimator
+from ..datasets.updates import UpdateOperation, apply_operation
+from ..selection import PigeonholeHammingSelector, SimilaritySelector
+from ..serving import EstimationService
+from .catalog import AttributeBinding, AttributeCatalog
+from .executor import QueryExecutor, QueryResult
+from .feedback import FeedbackMonitor
+from .planner import QueryPlan, QueryPlanner
+from .spec import ConjunctiveQuery, SimilarityPredicate, as_queries, as_query
+
+
+class _ManagerLink:
+    """Feedback-side handle on an update manager, pinned to a binding.
+
+    Drift can be detected long after the engine's data moved (updates may
+    bypass the manager entirely), so revalidation first syncs the manager's
+    dataset view to the binding it serves — labels must refresh against the
+    data the engine is *currently* answering from, not a stale snapshot.
+    """
+
+    def __init__(self, binding: AttributeBinding, manager: IncrementalUpdateManager) -> None:
+        self.binding = binding
+        self.manager = manager
+        # The manager is assumed to start in sync (built over the binding's
+        # current records); only later binding versions force a resync.
+        self._synced_version = binding.version
+
+    def sync(self) -> None:
+        if self._synced_version == self.binding.version:
+            return
+        self.manager.records = list(self.binding.records)
+        self.manager.selector = self.manager.selector.rebuild(self.manager.records)
+        self._synced_version = self.binding.version
+
+    def revalidate(self):
+        self.sync()
+        return self.manager.revalidate()
+
+
+class SimilarityQueryEngine:
+    """End-to-end engine over one table of similarity-queryable attributes."""
+
+    def __init__(
+        self,
+        service: Optional[EstimationService] = None,
+        drift_threshold: float = 4.0,
+        feedback_window: int = 32,
+        min_feedback_observations: int = 8,
+    ) -> None:
+        self.service = service if service is not None else EstimationService()
+        self.catalog = AttributeCatalog()
+        self.planner = QueryPlanner(self.catalog, self.service)
+        self.executor = QueryExecutor(self.catalog)
+        self.feedback = FeedbackMonitor(
+            self.service,
+            drift_threshold=drift_threshold,
+            window_size=feedback_window,
+            min_observations=min_feedback_observations,
+        )
+        self._managers: Dict[str, IncrementalUpdateManager] = {}
+        self._links: Dict[str, _ManagerLink] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register_attribute(
+        self,
+        name: str,
+        records: Sequence,
+        distance_name: str,
+        estimator: CardinalityEstimator,
+        selector: Optional[SimilaritySelector] = None,
+        theta_max: Optional[float] = None,
+        curve_thetas: Optional[Sequence[float]] = None,
+        gph_part_size: Optional[int] = None,
+    ) -> AttributeBinding:
+        """Register one queryable attribute.
+
+        ``estimator`` is served under an endpoint named after the attribute.
+        The curve grid resolves like :meth:`repro.serving.EstimatorRegistry.register`,
+        except integer-valued distances given only ``theta_max`` get the exact
+        integer grid ``0..theta_max``.  ``gph_part_size`` switches a Hamming
+        attribute to a pigeonhole index with GPH-allocated plans, backed by one
+        per-part histogram endpoint (``name::partJ``) on the same service.
+        """
+        from ..distances import get_distance
+
+        distance = get_distance(distance_name)
+        if gph_part_size is not None:
+            if distance_name != "hamming":
+                raise ValueError("gph_part_size only applies to hamming attributes")
+            if selector is not None:
+                raise ValueError(
+                    "pass either gph_part_size or an explicit selector, not both "
+                    "(a supplied selector would silently override the requested "
+                    "pigeonhole configuration)"
+                )
+            selector = PigeonholeHammingSelector(records, part_size=gph_part_size)
+        if (
+            curve_thetas is None
+            and theta_max is not None
+            and distance.integer_valued
+            and estimator.curve_thetas() is None
+        ):
+            curve_thetas = np.arange(int(theta_max) + 1, dtype=np.float64)
+        self.service.register(
+            name,
+            estimator,
+            curve_thetas=curve_thetas,
+            theta_max=theta_max,
+            distance_name=distance_name,
+        )
+        if theta_max is None:
+            theta_max = float(self.service.registry.get(name).curve_thetas[-1])
+        binding = self.catalog.add(
+            name,
+            records,
+            distance_name,
+            endpoint=name,
+            theta_max=theta_max,
+            selector=selector,
+        )
+        if isinstance(binding.selector, PigeonholeHammingSelector):
+            self._register_part_endpoints(binding)
+        return binding
+
+    def _register_part_endpoints(self, binding: AttributeBinding) -> None:
+        """(Re)build one histogram endpoint per pigeonhole part of ``binding``.
+
+        Called at registration and again after every dataset update — the
+        histograms summarize the data, so stale ones would mis-allocate.
+        """
+        for endpoint in binding.part_endpoints:
+            self.service.unregister(endpoint)
+        binding.part_endpoints = []
+        matrix = np.asarray(binding.records, dtype=np.uint8)
+        for part_index, (start, stop) in enumerate(binding.selector.parts):
+            endpoint = f"{binding.name}::part{part_index}"
+            width = stop - start
+            self.service.register(
+                endpoint,
+                HistogramHammingEstimator(matrix[:, start:stop]),
+                curve_thetas=np.arange(width + 1, dtype=np.float64),
+                distance_name="hamming",
+                metadata={"part_of": binding.name, "part_index": part_index},
+            )
+            binding.part_endpoints.append(endpoint)
+
+    def attach_manager(
+        self, name: str, manager: IncrementalUpdateManager, route_updates: bool = True
+    ) -> None:
+        """Wire an update manager to an attribute.
+
+        Drift detected by the feedback monitor always triggers the manager's
+        revalidation (after syncing its dataset view to the binding's current
+        records).  With ``route_updates`` (the default) :meth:`apply_update`
+        additionally takes the paper-§8 path through ``manager.process``;
+        ``route_updates=False`` keeps the manager a pure model-maintenance
+        component — updates hit the data plane directly and only the feedback
+        loop repairs the model, the scenario where serving-side drift
+        monitoring earns its keep.
+
+        A manager without a service connection adopts the engine's service so
+        its invalidations and validation measurements hit the serving path the
+        engine actually answers from.
+        """
+        binding = self.catalog.get(name)
+        if manager.service is None:
+            manager.service = self.service
+            manager.service_endpoint = binding.endpoint
+        # Pin the healthy validation error now, while the model is known-good:
+        # drift-triggered revalidation needs it to recognize degradation.
+        manager.ensure_baseline()
+        link = _ManagerLink(binding, manager)
+        self.feedback.attach_manager(binding.endpoint, link)
+        self._links[name] = link
+        if route_updates:
+            self._managers[name] = manager
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def explain(self, query: "ConjunctiveQuery | SimilarityPredicate") -> QueryPlan:
+        """Plan without executing (the inspectable EXPLAIN path)."""
+        return self.planner.plan(as_query(query))
+
+    def execute(self, query: "ConjunctiveQuery | SimilarityPredicate") -> QueryResult:
+        """Plan, execute, and feed the observation back — one query."""
+        return self.execute_many([query])[0]
+
+    def execute_many(
+        self, queries: Sequence["ConjunctiveQuery | SimilarityPredicate"]
+    ) -> List[QueryResult]:
+        """The bulk path: one batched planning pass for the whole workload,
+        then per-query execution and feedback."""
+        normalized = as_queries(queries)
+        plans = self.planner.plan_many(normalized)
+        results = []
+        for plan in plans:
+            result = self.executor.execute(plan)
+            self.feedback.observe(
+                self.catalog.get(plan.driver.attribute).endpoint,
+                plan.driver.estimated_cardinality,
+                result.driver_actual,
+            )
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def apply_update(
+        self, name: str, operation: UpdateOperation, operation_index: int = 0
+    ) -> Optional[UpdateStepReport]:
+        """Apply one dataset update to an attribute and resynchronize.
+
+        With a manager attached the update takes the paper-§8 path (relabel,
+        monitor, retrain incrementally if degraded, invalidate served curves);
+        without one the records are updated and the cached curves dropped.
+        Either way the binding's index and any per-part endpoints rebuild over
+        the new records.
+        """
+        binding = self.catalog.get(name)
+        manager = self._managers.get(name)
+        report: Optional[UpdateStepReport] = None
+        if manager is not None:
+            report = manager.process(operation, operation_index)
+            binding.replace_records(manager.records)
+            # The manager applied this update itself — its view is current.
+            self._links[name]._synced_version = binding.version
+        else:
+            binding.replace_records(apply_operation(list(binding.records), operation))
+            self.service.invalidate(binding.endpoint)
+        if isinstance(binding.selector, PigeonholeHammingSelector):
+            self._register_part_endpoints(binding)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "attributes": self.catalog.names(),
+            "service": self.service.stats(),
+            "feedback": self.feedback.snapshot(),
+        }

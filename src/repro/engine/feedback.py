@@ -1,0 +1,137 @@
+"""Online estimated-vs-actual monitoring and the drift-repair loop.
+
+Every executed query yields one free observation: the driving predicate's
+estimated cardinality next to its exact match count.  The monitor feeds each
+pair into the serving telemetry (cumulative online q-error per endpoint,
+matching :func:`repro.metrics.mean_q_error` on the same pairs) and keeps a
+sliding window per endpoint for drift detection.  When the window's mean
+q-error crosses the configured threshold, the monitor repairs the endpoint:
+
+1. the service's cached curves for the endpoint are invalidated (they were
+   computed by a drifted estimator);
+2. if an :class:`repro.core.IncrementalUpdateManager` is attached, it
+   revalidates — refreshing validation labels and incrementally retraining
+   when the measured error degraded (paper §8's loop, driven by serving-side
+   evidence instead of an explicit update notification);
+3. the window resets so one bad burst triggers at most one repair.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from ..core.incremental import RevalidationReport
+from ..serving import EstimationService
+
+
+@dataclass
+class DriftEvent:
+    """One drift-threshold crossing and what the repair did."""
+
+    endpoint: str
+    window_q_error: float
+    observations: int
+    curves_invalidated: int
+    revalidation: Optional[RevalidationReport] = None
+
+
+class FeedbackMonitor:
+    """Per-endpoint drift detection over observed query cardinalities."""
+
+    def __init__(
+        self,
+        service: EstimationService,
+        drift_threshold: float = 4.0,
+        window_size: int = 32,
+        min_observations: int = 8,
+    ) -> None:
+        if drift_threshold < 1.0:
+            raise ValueError("drift_threshold is a q-error and must be >= 1")
+        if min_observations <= 0 or window_size <= 0:
+            raise ValueError("window_size and min_observations must be positive")
+        self.service = service
+        self.drift_threshold = float(drift_threshold)
+        self.window_size = int(window_size)
+        self.min_observations = min(int(min_observations), int(window_size))
+        self._windows: Dict[str, Deque[float]] = {}
+        self._managers: Dict[str, object] = {}
+        self.events: List[DriftEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def attach_manager(self, endpoint: str, manager) -> None:
+        """Attach anything with a ``revalidate()`` method (typically an
+        :class:`~repro.core.IncrementalUpdateManager`) to repair ``endpoint``."""
+        if not hasattr(manager, "revalidate"):
+            raise TypeError(f"manager for {endpoint!r} has no revalidate() method")
+        self._managers[endpoint] = manager
+
+    # ------------------------------------------------------------------ #
+    # Observation path
+    # ------------------------------------------------------------------ #
+    def observe(self, endpoint: str, estimated: float, actual: float) -> Optional[DriftEvent]:
+        """Record one estimated-vs-actual pair; returns the drift event if the
+        observation pushed the endpoint's window past the threshold."""
+        error = self.service.telemetry.record_observation(endpoint, estimated, actual)
+        window = self._windows.setdefault(endpoint, deque(maxlen=self.window_size))
+        window.append(error)
+        if len(window) < self.min_observations:
+            return None
+        window_q_error = sum(window) / len(window)
+        if window_q_error <= self.drift_threshold:
+            return None
+        return self._repair(endpoint, window_q_error, len(window))
+
+    def _repair(self, endpoint: str, window_q_error: float, observations: int) -> DriftEvent:
+        curves_invalidated = self.service.invalidate(endpoint)
+        revalidation: Optional[RevalidationReport] = None
+        manager = self._managers.get(endpoint)
+        if manager is not None:
+            revalidation = manager.revalidate()
+        self.service.telemetry.record_drift(endpoint)
+        self._windows[endpoint].clear()
+        event = DriftEvent(
+            endpoint=endpoint,
+            window_q_error=window_q_error,
+            observations=observations,
+            curves_invalidated=curves_invalidated,
+            revalidation=revalidation,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def online_q_error(self, endpoint: str) -> float:
+        """Cumulative mean q-error over every observation for ``endpoint`` —
+        equal to :func:`repro.metrics.mean_q_error` on the same pairs."""
+        return self.service.telemetry.endpoint(endpoint).mean_q_error
+
+    def window_q_error(self, endpoint: str) -> float:
+        """Mean q-error of the current (post-repair) sliding window."""
+        window = self._windows.get(endpoint)
+        return sum(window) / len(window) if window else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "drift_threshold": self.drift_threshold,
+            "window_size": self.window_size,
+            "events": [
+                {
+                    "endpoint": event.endpoint,
+                    "window_q_error": event.window_q_error,
+                    "curves_invalidated": event.curves_invalidated,
+                    "retrained": bool(
+                        event.revalidation is not None and event.revalidation.retrained
+                    ),
+                }
+                for event in self.events
+            ],
+            "windows": {
+                endpoint: self.window_q_error(endpoint) for endpoint in self._windows
+            },
+        }

@@ -47,6 +47,27 @@ class ConjunctiveQuery:
 
 
 @dataclass
+class ConjunctivePlan:
+    """Inspectable plan for one conjunctive query.
+
+    The planner's whole decision is captured here before anything executes:
+    per-predicate estimates (in the query's own predicate order), the chosen
+    driving predicate, and the order the remaining predicates are verified in
+    (ascending estimate, so the most selective residual prunes first).
+    """
+
+    query: ConjunctiveQuery
+    estimates: Dict[str, float]
+    chosen_attribute: str
+    verify_order: List[str]
+    estimation_seconds: float = 0.0
+
+    @property
+    def estimated_candidates(self) -> float:
+        return self.estimates[self.chosen_attribute]
+
+
+@dataclass
 class QueryExecution:
     """Outcome of executing one conjunctive query under some planning policy."""
 
@@ -110,6 +131,12 @@ class ConjunctiveQueryProcessor:
         gathered: Dict[str, List[tuple[int, np.ndarray, float]]] = {}
         for query_index, query in enumerate(queries):
             for predicate in query.predicates:
+                if not hasattr(predicate, "vector"):
+                    raise TypeError(
+                        f"expected repro.optimizer Predicate, got {type(predicate).__name__}; "
+                        "repro.engine.ConjunctiveQuery specs run through "
+                        "SimilarityQueryEngine, not this processor"
+                    )
                 gathered.setdefault(predicate.attribute, []).append(
                     (query_index, predicate.vector, predicate.threshold)
                 )
@@ -130,8 +157,93 @@ class ConjunctiveQueryProcessor:
         ]
 
     # ------------------------------------------------------------------ #
+    # Planning (plan objects, consumed by execute_plan and repro.engine)
+    # ------------------------------------------------------------------ #
+    def _plan_from_estimates(
+        self,
+        query: ConjunctiveQuery,
+        estimates: Dict[str, float],
+        estimation_seconds: float = 0.0,
+    ) -> ConjunctivePlan:
+        # min() breaks ties by insertion order = the query's predicate order,
+        # matching the legacy inline-argmin behavior exactly.
+        chosen_attribute = min(estimates, key=estimates.get)
+        verify_order = sorted(
+            (attribute for attribute in estimates if attribute != chosen_attribute),
+            key=estimates.get,
+        )
+        return ConjunctivePlan(
+            query=query,
+            estimates=estimates,
+            chosen_attribute=chosen_attribute,
+            verify_order=verify_order,
+            estimation_seconds=estimation_seconds,
+        )
+
+    def plan(
+        self, query: ConjunctiveQuery, estimators: Dict[str, CardinalityEstimator]
+    ) -> ConjunctivePlan:
+        """Plan one query: estimate every predicate and pick the driver."""
+        estimation_start = time.perf_counter()
+        estimates = self.plan_estimates([query], estimators)[0]
+        return self._plan_from_estimates(
+            query, estimates, time.perf_counter() - estimation_start
+        )
+
+    def plan_workload(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        estimators: Dict[str, CardinalityEstimator],
+    ) -> List[ConjunctivePlan]:
+        """Plans for a whole workload, one batched estimator call per attribute;
+        each plan carries its amortized share of the estimation time."""
+        queries = list(queries)
+        if not queries:
+            return []
+        estimation_start = time.perf_counter()
+        workload_estimates = self.plan_estimates(queries, estimators)
+        per_query_seconds = (time.perf_counter() - estimation_start) / len(queries)
+        return [
+            self._plan_from_estimates(query, estimates, per_query_seconds)
+            for query, estimates in zip(queries, workload_estimates)
+        ]
+
+    # ------------------------------------------------------------------ #
     # Planned execution
     # ------------------------------------------------------------------ #
+    def execute_plan(self, plan: ConjunctivePlan) -> QueryExecution:
+        """Execute a previously produced plan: one index lookup for the driving
+        predicate, then vectorized verification of the residual predicates over
+        the shrinking candidate set."""
+        query = plan.query
+        by_attribute = {predicate.attribute: predicate for predicate in query.predicates}
+
+        processing_start = time.perf_counter()
+        chosen_predicate = by_attribute[plan.chosen_attribute]
+        candidates = self.predicate_matches(chosen_predicate)
+        surviving = np.asarray(candidates, dtype=np.int64)
+        for attribute in plan.verify_order:
+            if surviving.size == 0:
+                break
+            predicate = by_attribute[attribute]
+            block = self.relation.attribute(attribute)[surviving]
+            deltas = block - predicate.vector[None, :]
+            distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+            surviving = surviving[distances <= predicate.threshold + 1e-12]
+        result = [int(record_id) for record_id in surviving]
+        processing_seconds = time.perf_counter() - processing_start
+
+        true_cardinalities = self.true_cardinalities(query)
+        optimal_attribute = min(true_cardinalities, key=true_cardinalities.get)
+        return QueryExecution(
+            chosen_attribute=plan.chosen_attribute,
+            result_ids=result,
+            candidates_examined=len(candidates),
+            estimation_seconds=plan.estimation_seconds,
+            processing_seconds=processing_seconds,
+            optimal_attribute=optimal_attribute,
+        )
+
     def execute(
         self,
         query: ConjunctiveQuery,
@@ -139,7 +251,7 @@ class ConjunctiveQueryProcessor:
         precomputed_estimates: Optional[Dict[str, float]] = None,
         estimation_seconds: float = 0.0,
     ) -> QueryExecution:
-        """Execute the query using per-attribute estimators for planning.
+        """Plan (unless estimates are precomputed) and execute one query.
 
         ``estimators[attribute]`` estimates the cardinality of a predicate on
         that attribute.  The exact per-predicate cardinalities are computed as
@@ -149,41 +261,10 @@ class ConjunctiveQueryProcessor:
         query's amortized share of the batched estimation time.
         """
         if precomputed_estimates is None:
-            estimation_start = time.perf_counter()
-            estimates = self.plan_estimates([query], estimators)[0]
-            estimation_seconds = time.perf_counter() - estimation_start
+            plan = self.plan(query, estimators)
         else:
-            estimates = precomputed_estimates
-        chosen_attribute = min(estimates, key=estimates.get)
-
-        processing_start = time.perf_counter()
-        chosen_predicate = next(
-            predicate for predicate in query.predicates if predicate.attribute == chosen_attribute
-        )
-        candidates = self.predicate_matches(chosen_predicate)
-        result: List[int] = []
-        other_predicates = [p for p in query.predicates if p.attribute != chosen_attribute]
-        for record_id in candidates:
-            satisfied = True
-            for predicate in other_predicates:
-                vector = self.relation.attribute(predicate.attribute)[record_id]
-                if np.linalg.norm(vector - predicate.vector) > predicate.threshold + 1e-12:
-                    satisfied = False
-                    break
-            if satisfied:
-                result.append(record_id)
-        processing_seconds = time.perf_counter() - processing_start
-
-        true_cardinalities = self.true_cardinalities(query)
-        optimal_attribute = min(true_cardinalities, key=true_cardinalities.get)
-        return QueryExecution(
-            chosen_attribute=chosen_attribute,
-            result_ids=result,
-            candidates_examined=len(candidates),
-            estimation_seconds=estimation_seconds,
-            processing_seconds=processing_seconds,
-            optimal_attribute=optimal_attribute,
-        )
+            plan = self._plan_from_estimates(query, precomputed_estimates, estimation_seconds)
+        return self.execute_plan(plan)
 
 
 @dataclass
@@ -231,18 +312,8 @@ def run_conjunctive_workload(
     queries = list(queries)
     report = WorkloadReport()
     if batch_planning and queries:
-        estimation_start = time.perf_counter()
-        workload_estimates = processor.plan_estimates(queries, estimators)
-        per_query_seconds = (time.perf_counter() - estimation_start) / len(queries)
-        for query, estimates in zip(queries, workload_estimates):
-            report.add(
-                processor.execute(
-                    query,
-                    estimators,
-                    precomputed_estimates=estimates,
-                    estimation_seconds=per_query_seconds,
-                )
-            )
+        for plan in processor.plan_workload(queries, estimators):
+            report.add(processor.execute_plan(plan))
         return report
     for query in queries:
         report.add(processor.execute(query, estimators))

@@ -83,6 +83,16 @@ def fetch_part_curves(
 
 
 @dataclass
+class GPHPlan:
+    """Inspectable GPH plan: the allocation the DP chose and its estimated cost."""
+
+    threshold: int
+    allocation: List[int]
+    estimated_candidates: float
+    allocation_seconds: float = 0.0
+
+
+@dataclass
 class GPHExecution:
     """Outcome of answering one Hamming query through GPH."""
 
@@ -100,8 +110,19 @@ class GPHExecution:
 class GPHQueryProcessor:
     """Pigeonhole multi-index + estimator-driven threshold allocation."""
 
-    def __init__(self, dataset_records: Sequence, part_size: int = 16) -> None:
-        self.selector = PigeonholeHammingSelector(dataset_records, part_size=part_size)
+    def __init__(
+        self,
+        dataset_records: Sequence,
+        part_size: int = 16,
+        selector: Optional[PigeonholeHammingSelector] = None,
+    ) -> None:
+        """``selector`` lets callers that already hold a pigeonhole index (the
+        engine's attribute catalog) reuse it instead of rebuilding one."""
+        if selector is None:
+            selector = PigeonholeHammingSelector(dataset_records, part_size=part_size)
+        elif selector.parts:
+            part_size = selector.parts[0][1] - selector.parts[0][0]
+        self.selector = selector
         self.part_size = part_size
 
     @property
@@ -126,6 +147,16 @@ class GPHQueryProcessor:
         estimator: Union[PartCardinalityEstimator, PartEstimator],
         max_part_threshold: Optional[int] = None,
     ) -> List[int]:
+        """The allocation of :meth:`plan` (kept for callers that only need it)."""
+        return self.plan(record, threshold, estimator, max_part_threshold).allocation
+
+    def plan(
+        self,
+        record: np.ndarray,
+        threshold: int,
+        estimator: Union[PartCardinalityEstimator, PartEstimator],
+        max_part_threshold: Optional[int] = None,
+    ) -> GPHPlan:
         """Dynamic-programming allocation minimizing the estimated candidate count.
 
         ``cost[p][b]`` is the minimum estimated candidates using the first ``p``
@@ -133,8 +164,11 @@ class GPHQueryProcessor:
         ``t ∈ [0, min(b, part width)]`` at cost ``curve_p[t]``.  The per-part
         curves are fetched in one batched request per plan enumeration
         (:func:`fetch_part_curves`) rather than one scalar estimate per
-        (part, threshold) pair.
+        (part, threshold) pair.  The returned plan carries the allocation AND
+        the DP's estimated candidate count, so executors and feedback monitors
+        can compare the estimate against the observed cost.
         """
+        allocation_start = time.perf_counter()
         record = np.asarray(record, dtype=np.uint8)
         num_parts = self.num_parts
         budget = self.allocation_budget(threshold)
@@ -177,7 +211,13 @@ class GPHQueryProcessor:
             t = int(choice[part_index, remaining])
             allocation[part_index - 1] = t
             remaining += t
-        return allocation
+        estimated = float(cost[num_parts, final_remaining])
+        return GPHPlan(
+            threshold=int(threshold),
+            allocation=allocation,
+            estimated_candidates=estimated if np.isfinite(estimated) else 0.0,
+            allocation_seconds=time.perf_counter() - allocation_start,
+        )
 
     # ------------------------------------------------------------------ #
     # Query answering
@@ -186,23 +226,27 @@ class GPHQueryProcessor:
         self,
         record: np.ndarray,
         threshold: int,
-        estimator: Union[PartCardinalityEstimator, PartEstimator],
+        estimator: Optional[Union[PartCardinalityEstimator, PartEstimator]] = None,
         max_part_threshold: Optional[int] = None,
+        plan: Optional[GPHPlan] = None,
     ) -> GPHExecution:
+        """Execute one Hamming query, planning first unless a plan is supplied."""
         record = np.asarray(record, dtype=np.uint8)
-        allocation_start = time.perf_counter()
-        allocation = self.allocate(record, threshold, estimator, max_part_threshold)
-        allocation_seconds = time.perf_counter() - allocation_start
+        if plan is None:
+            if estimator is None:
+                raise ValueError("either an estimator or a precomputed plan is required")
+            plan = self.plan(record, threshold, estimator, max_part_threshold)
 
         processing_start = time.perf_counter()
-        candidates = self.selector.candidates(record, allocation)
-        results = self.selector.query(record, threshold, allocation=allocation)
+        results, num_candidates = self.selector.verified_candidates(
+            record, threshold, allocation=plan.allocation
+        )
         processing_seconds = time.perf_counter() - processing_start
         return GPHExecution(
-            allocation=allocation,
-            num_candidates=int(candidates.size),
+            allocation=plan.allocation,
+            num_candidates=num_candidates,
             num_results=len(results),
-            allocation_seconds=allocation_seconds,
+            allocation_seconds=plan.allocation_seconds,
             processing_seconds=processing_seconds,
         )
 

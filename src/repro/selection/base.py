@@ -12,6 +12,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, List, Sequence
 
+import numpy as np
+
 
 class SimilaritySelector(ABC):
     """Answers similarity selection queries exactly over a fixed dataset."""
@@ -33,6 +35,35 @@ class SimilaritySelector(ABC):
     def cardinality(self, record: Any, threshold: float) -> int:
         """Exact cardinality of the selection (length of :meth:`query`)."""
         return len(self.query(record, threshold))
+
+    def cardinality_curve(self, record: Any, thresholds: Sequence[float]) -> np.ndarray:
+        """Exact cardinality at every threshold, from ONE pass over the data.
+
+        Label generation asks the same query record at many thresholds, so
+        selectors answer the whole vector from a single distance computation:
+        the default queries once at the largest threshold and derives every
+        smaller count from the exact distances of those matches (any record
+        within a smaller threshold is necessarily among them).  Each entry
+        equals :meth:`cardinality` at that threshold exactly.
+        """
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if thresholds.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        match_distances = self._match_distances(record, float(thresholds.max()))
+        if match_distances is None:
+            return np.asarray(
+                [self.cardinality(record, float(theta)) for theta in thresholds],
+                dtype=np.int64,
+            )
+        return np.count_nonzero(
+            match_distances[None, :] <= thresholds[:, None] + 1e-12, axis=1
+        ).astype(np.int64)
+
+    def _match_distances(self, record: Any, threshold: float) -> "np.ndarray | None":
+        """Exact distances of every record matching at ``threshold``, or ``None``
+        when this selector has no batched verification kernel (the curve then
+        falls back to one :meth:`cardinality` call per threshold)."""
+        return None
 
     def rebuild(self, dataset: Sequence) -> "SimilaritySelector":
         """Return a new selector over an updated dataset (same configuration)."""

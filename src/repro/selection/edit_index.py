@@ -16,7 +16,9 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Dict, List, Sequence
 
-from ..distances.edit import levenshtein_within
+import numpy as np
+
+from ..distances.edit import batch_levenshtein
 from .base import SimilaritySelector
 
 
@@ -71,15 +73,34 @@ class QGramEditSelector(SimilaritySelector):
                 if record_id in length_candidate_set:
                     shared_counts[record_id] += min(multiplicity, self._grams[record_id][gram])
 
-        matches: List[int] = []
+        survivors: List[int] = []
         for record_id in length_candidates:
-            candidate = self._dataset[record_id]
             required = max(query_length, self._lengths[record_id]) - self.q + 1 - self.q * threshold_int
             if required > 0 and shared_counts.get(record_id, 0) < required:
                 continue
-            if levenshtein_within(record, candidate, threshold_int) is not None:
-                matches.append(record_id)
-        return matches
+            survivors.append(record_id)
+        if not survivors:
+            return []
+        # Batched verification: one vectorized DP over every surviving candidate
+        # instead of one banded scalar verification per candidate.
+        distances = batch_levenshtein(
+            record, [self._dataset[record_id] for record_id in survivors], threshold_int
+        )
+        return [record_id for record_id, d in zip(survivors, distances) if d <= threshold_int]
+
+    def cardinality_curve(self, record: str, thresholds) -> np.ndarray:
+        """Matches at the widest threshold, then exact distances answer the rest."""
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if thresholds.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        widest = int(thresholds.max())
+        matches = self.query(str(record), widest)
+        if not matches:
+            return np.zeros(thresholds.size, dtype=np.int64)
+        distances = batch_levenshtein(str(record), [self._dataset[i] for i in matches])
+        return np.count_nonzero(
+            distances[None, :] <= thresholds.astype(np.int64)[:, None], axis=1
+        ).astype(np.int64)
 
     def rebuild(self, dataset: Sequence) -> "QGramEditSelector":
         return QGramEditSelector(dataset, q=self.q)

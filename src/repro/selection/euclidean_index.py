@@ -69,5 +69,14 @@ class BallIndexEuclideanSelector(SimilaritySelector):
             matches.extend(int(i) for i in member_ids[distances <= threshold + 1e-12])
         return sorted(matches)
 
+    def _match_distances(self, record, threshold: float) -> np.ndarray:
+        """Euclidean distances of the matches at ``threshold`` (for curve batching)."""
+        matches = self.query(record, threshold)
+        if not matches:
+            return np.zeros(0)
+        block = self._matrix[np.asarray(matches, dtype=np.int64)]
+        deltas = block - np.asarray(record, dtype=np.float64)[None, :]
+        return np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+
     def rebuild(self, dataset: Sequence) -> "BallIndexEuclideanSelector":
         return BallIndexEuclideanSelector(dataset, num_pivots=len(self._pivots) or 16)

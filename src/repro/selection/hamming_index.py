@@ -54,6 +54,16 @@ class PackedHammingSelector(SimilaritySelector):
         query_packed = pack_bits(np.asarray(record, dtype=np.uint8))[0]
         return packed_hamming_distances(query_packed, self._packed)
 
+    def cardinality_curve(self, record, thresholds) -> np.ndarray:
+        """One packed XOR+popcount scan answers every threshold."""
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if thresholds.size == 0 or len(self._dataset) == 0:
+            return np.zeros(thresholds.size, dtype=np.int64)
+        distances = self.distances(record)
+        return np.count_nonzero(
+            distances[None, :] <= thresholds.astype(np.int64)[:, None], axis=1
+        ).astype(np.int64)
+
 
 def split_dimensions(dimension: int, part_size: int) -> List[Tuple[int, int]]:
     """Split ``[0, dimension)`` into contiguous parts of at most ``part_size`` bits."""
@@ -152,19 +162,45 @@ class PigeonholeHammingSelector(SimilaritySelector):
         threshold: float,
         allocation: Optional[Sequence[int]] = None,
     ) -> List[int]:
+        matches, _ = self.verified_candidates(record, threshold, allocation)
+        return matches
+
+    def verified_candidates(
+        self,
+        record,
+        threshold: float,
+        allocation: Optional[Sequence[int]] = None,
+    ) -> Tuple[List[int], int]:
+        """(sorted matches, candidate count) under an allocation.
+
+        The candidate count is the query-processing cost an allocation policy
+        is judged by, so executors that report cost use this entry point
+        instead of :meth:`query` to avoid enumerating candidates twice.
+        """
         threshold_int = int(threshold)
         if len(self._dataset) == 0:
-            return []
+            return [], 0
         if allocation is None:
             allocation = self.uniform_allocation(threshold_int)
         record = np.asarray(record, dtype=np.uint8)
         candidate_ids = self.candidates(record, allocation)
         if candidate_ids.size == 0:
-            return []
+            return [], 0
         query_packed = pack_bits(record)[0]
         distances = packed_hamming_distances(query_packed, self._packed[candidate_ids])
         matches = candidate_ids[distances <= threshold_int]
-        return sorted(int(i) for i in matches)
+        return sorted(int(i) for i in matches), int(candidate_ids.size)
+
+    def cardinality_curve(self, record, thresholds) -> np.ndarray:
+        """One packed XOR+popcount scan answers every threshold."""
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if thresholds.size == 0 or len(self._dataset) == 0:
+            return np.zeros(thresholds.size, dtype=np.int64)
+        query_packed = pack_bits(np.asarray(record, dtype=np.uint8))[0]
+        distances = packed_hamming_distances(query_packed, self._packed)
+        return np.count_nonzero(
+            distances[None, :] <= thresholds.astype(np.int64)[:, None], axis=1
+        ).astype(np.int64)
 
     def candidate_count(self, record, allocation: Sequence[int]) -> int:
         """Number of candidates produced by an allocation (query-optimizer cost)."""

@@ -16,6 +16,8 @@ import math
 from collections import defaultdict
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
+import numpy as np
+
 from ..distances.jaccard import as_frozenset, jaccard_similarity
 from .base import SimilaritySelector
 
@@ -76,6 +78,17 @@ class PrefixFilterJaccardSelector(SimilaritySelector):
             if jaccard_similarity(query_set, self._dataset[record_id]) >= similarity_threshold - 1e-12:
                 matches.append(record_id)
         return sorted(matches)
+
+    def _match_distances(self, record, threshold: float) -> np.ndarray:
+        """Jaccard distances of the matches at ``threshold`` (for curve batching)."""
+        query_set = as_frozenset(record)
+        return np.asarray(
+            [
+                1.0 - jaccard_similarity(query_set, self._dataset[record_id])
+                for record_id in self.query(record, threshold)
+            ],
+            dtype=np.float64,
+        )
 
     def rebuild(self, dataset: Sequence) -> "PrefixFilterJaccardSelector":
         return PrefixFilterJaccardSelector(dataset)

@@ -26,5 +26,15 @@ class LinearScanSelector(SimilaritySelector):
         distances = self.distance.distances_to(record, self._dataset)
         return int(np.count_nonzero(distances <= threshold + 1e-12))
 
+    def cardinality_curve(self, record: Any, thresholds) -> np.ndarray:
+        """One distance vector answers every threshold."""
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if thresholds.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        distances = self.distance.distances_to(record, self._dataset)
+        return np.count_nonzero(
+            distances[None, :] <= thresholds[:, None] + 1e-12, axis=1
+        ).astype(np.int64)
+
     def rebuild(self, dataset: Sequence) -> "LinearScanSelector":
         return LinearScanSelector(dataset, self.distance)

@@ -15,7 +15,7 @@ from .registry import (
     default_record_key,
 )
 from .service import EstimationService, PendingEstimate
-from .telemetry import EndpointStats, ServingTelemetry
+from .telemetry import EndpointStats, ServingTelemetry, q_error
 
 __all__ = [
     "CurveCache",
@@ -27,4 +27,5 @@ __all__ = [
     "PendingEstimate",
     "ServingTelemetry",
     "EndpointStats",
+    "q_error",
 ]

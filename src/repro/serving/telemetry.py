@@ -1,15 +1,25 @@
 """Per-request telemetry for the estimation service.
 
 The service records, per registered estimator and globally: request counts,
-curve-cache hits/misses, the size of every micro-batch sent to a model, and
-wall-clock latency.  ``snapshot()`` returns a plain dict suitable for logging
-or for the benchmark harness to emit as JSON.
+curve-cache hits/misses, the size of every micro-batch sent to a model,
+wall-clock latency, and — when a feedback loop reports observed cardinalities
+back (:mod:`repro.engine.feedback`) — estimated-vs-actual drift statistics
+(online q-error and drift-event counts).  ``snapshot()`` returns a plain dict
+suitable for logging or for the benchmark harness to emit as JSON.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """``max(c/ĉ, ĉ/c)`` with both sides floored at 1 (the paper's §9.2
+    convention, matching :func:`repro.metrics.mean_q_error` exactly)."""
+    safe_actual = max(float(actual), 1.0)
+    safe_estimated = max(float(estimated), 1.0)
+    return max(safe_actual / safe_estimated, safe_estimated / safe_actual)
 
 
 @dataclass
@@ -24,6 +34,11 @@ class EndpointStats:
     batched_records: int = 0
     max_batch_size: int = 0
     latency_seconds: float = 0.0
+    #: Feedback-loop drift counters: estimated-vs-actual observations.
+    observations: int = 0
+    q_error_sum: float = 0.0
+    q_error_max: float = 0.0
+    drift_events: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -33,6 +48,11 @@ class EndpointStats:
     @property
     def mean_batch_size(self) -> float:
         return self.batched_records / self.batches if self.batches else 0.0
+
+    @property
+    def mean_q_error(self) -> float:
+        """Online mean q-error over every observation reported so far."""
+        return self.q_error_sum / self.observations if self.observations else 0.0
 
     def snapshot(self) -> Dict[str, float]:
         return {
@@ -47,6 +67,10 @@ class EndpointStats:
             "mean_latency_seconds": (
                 self.latency_seconds / self.requests if self.requests else 0.0
             ),
+            "observations": self.observations,
+            "mean_q_error": self.mean_q_error,
+            "max_q_error": self.q_error_max,
+            "drift_events": self.drift_events,
         }
 
 
@@ -77,6 +101,24 @@ class ServingTelemetry:
     def record_latency(self, name: str, seconds: float) -> None:
         for stats in (self.endpoint(name), self.total):
             stats.latency_seconds += seconds
+
+    def record_observation(self, name: str, estimated: float, actual: float) -> float:
+        """Feed one estimated-vs-actual cardinality pair into the drift stats.
+
+        Returns the observation's q-error so feedback monitors don't have to
+        recompute it for their own (windowed) bookkeeping.
+        """
+        error = q_error(estimated, actual)
+        for stats in (self.endpoint(name), self.total):
+            stats.observations += 1
+            stats.q_error_sum += error
+            stats.q_error_max = max(stats.q_error_max, error)
+        return error
+
+    def record_drift(self, name: str) -> None:
+        """Count one drift-threshold crossing (cache flush + revalidation)."""
+        for stats in (self.endpoint(name), self.total):
+            stats.drift_events += 1
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         report = {"total": self.total.snapshot()}

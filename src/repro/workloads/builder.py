@@ -88,12 +88,20 @@ def label_queries(
     thresholds: Sequence[float],
     selector: SimilaritySelector,
 ) -> List[QueryExample]:
-    """Compute exact cardinalities for every (query, threshold) combination."""
+    """Compute exact cardinalities for every (query, threshold) combination.
+
+    One :meth:`SimilaritySelector.cardinality_curve` call per query record
+    answers every threshold from a single distance computation, instead of one
+    scalar ``cardinality`` call per (query, threshold) pair.
+    """
+    thresholds = [float(theta) for theta in thresholds]
     examples: List[QueryExample] = []
     for record in queries:
-        for theta in thresholds:
-            cardinality = selector.cardinality(record, float(theta))
-            examples.append(QueryExample(record=record, theta=float(theta), cardinality=cardinality))
+        curve = selector.cardinality_curve(record, thresholds)
+        examples.extend(
+            QueryExample(record=record, theta=theta, cardinality=int(cardinality))
+            for theta, cardinality in zip(thresholds, curve)
+        )
     return examples
 
 
@@ -156,12 +164,25 @@ def build_workload(
 def relabel(
     examples: Sequence[QueryExample], selector: SimilaritySelector
 ) -> List[QueryExample]:
-    """Recompute labels for existing queries against an updated dataset (paper §8)."""
-    return [
-        QueryExample(
-            record=example.record,
-            theta=example.theta,
-            cardinality=selector.cardinality(example.record, example.theta),
+    """Recompute labels for existing queries against an updated dataset (paper §8).
+
+    Workloads list each query record's thresholds consecutively, so runs of
+    examples sharing one record (by identity) are relabelled with a single
+    ``cardinality_curve`` call instead of one scalar call per example.
+    """
+    examples = list(examples)
+    relabelled: List[QueryExample] = []
+    index = 0
+    while index < len(examples):
+        record = examples[index].record
+        run_end = index
+        while run_end < len(examples) and examples[run_end].record is record:
+            run_end += 1
+        run = examples[index:run_end]
+        curve = selector.cardinality_curve(record, [example.theta for example in run])
+        relabelled.extend(
+            QueryExample(record=record, theta=example.theta, cardinality=int(cardinality))
+            for example, cardinality in zip(run, curve)
         )
-        for example in examples
-    ]
+        index = run_end
+    return relabelled

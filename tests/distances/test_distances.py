@@ -161,3 +161,52 @@ class TestRegistry:
     def test_get_distance_unknown(self):
         with pytest.raises(KeyError):
             get_distance("cosine")
+
+
+class TestBatchLevenshtein:
+    """The vectorized multi-string DP behind EditDistance.cross_distances."""
+
+    @pytest.fixture(scope="class")
+    def words(self):
+        import random
+
+        random.seed(0)
+        alphabet = "abcde"
+        return [
+            "".join(random.choices(alphabet, k=random.randint(0, 12)))
+            for _ in range(120)
+        ]
+
+    def test_cross_distances_matches_pairwise_loop(self, words):
+        from repro.distances import batch_levenshtein  # noqa: F401 (public API)
+
+        distance = EditDistance()
+        queries = words[:10]
+        matrix = distance.cross_distances(queries, words)
+        expected = np.array(
+            [[levenshtein(q, w) for w in words] for q in queries], dtype=np.float64
+        )
+        assert np.array_equal(matrix, expected)
+
+    def test_distances_to_matches_loop(self, words):
+        distance = EditDistance()
+        batch = distance.distances_to(words[0], words)
+        loop = [distance.distance(words[0], w) for w in words]
+        assert np.array_equal(batch, loop)
+
+    def test_threshold_mode_exact_below_threshold(self, words):
+        from repro.distances import batch_levenshtein
+
+        for query in words[:5]:
+            pruned = batch_levenshtein(query, words, threshold=3)
+            exact = np.array([levenshtein(query, w) for w in words])
+            within = exact <= 3
+            assert np.array_equal(pruned[within], exact[within])
+            assert (pruned[~within] > 3).all()
+
+    def test_empty_edge_cases(self):
+        from repro.distances import batch_levenshtein
+
+        assert batch_levenshtein("", ["", "ab"]).tolist() == [0, 2]
+        assert batch_levenshtein("ab", ["", ""]).tolist() == [2, 2]
+        assert batch_levenshtein("ab", []).tolist() == []

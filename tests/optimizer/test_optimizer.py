@@ -323,3 +323,79 @@ class TestCurveBatchedCalls:
         ]
         assert batched.total_candidates == legacy.total_candidates
         assert batched.planning_precision == legacy.planning_precision
+
+
+# --------------------------------------------------------------------------- #
+# Plan objects (the engine consumes these; execute == plan + execute_plan)
+# --------------------------------------------------------------------------- #
+class TestPlanObjects:
+    @pytest.fixture(scope="class")
+    def processor(self, relation):
+        return ConjunctiveQueryProcessor(relation, num_pivots=8, seed=0)
+
+    @pytest.fixture(scope="class")
+    def queries(self, relation):
+        return generate_conjunctive_queries(relation, num_queries=6, seed=7)
+
+    @pytest.fixture(scope="class")
+    def estimators(self, relation):
+        return {
+            attribute: ExactEstimator(BallIndexEuclideanSelector(matrix, num_pivots=8, seed=0))
+            for attribute, matrix in relation.attributes.items()
+        }
+
+    def test_plan_is_inspectable(self, processor, queries, estimators):
+        plan = processor.plan(queries[0], estimators)
+        assert plan.chosen_attribute in queries[0].attributes()
+        assert set(plan.verify_order) == set(queries[0].attributes()) - {plan.chosen_attribute}
+        # Residuals verify in ascending-estimate order.
+        residual_estimates = [plan.estimates[a] for a in plan.verify_order]
+        assert residual_estimates == sorted(residual_estimates)
+        assert plan.estimated_candidates == plan.estimates[plan.chosen_attribute]
+
+    def test_execute_plan_equals_execute(self, processor, queries, estimators):
+        for query in queries:
+            planned = processor.execute_plan(processor.plan(query, estimators))
+            inline = processor.execute(query, estimators)
+            assert planned.chosen_attribute == inline.chosen_attribute
+            assert planned.result_ids == inline.result_ids
+            assert planned.candidates_examined == inline.candidates_examined
+
+    def test_plan_workload_matches_per_query_plans(self, processor, queries, estimators):
+        workload_plans = processor.plan_workload(queries, estimators)
+        for query, plan in zip(queries, workload_plans):
+            single = processor.plan(query, estimators)
+            assert plan.chosen_attribute == single.chosen_attribute
+            assert plan.verify_order == single.verify_order
+            assert plan.estimates == single.estimates
+
+    def test_gph_plan_carries_cost(self, binary_dataset):
+        records = binary_dataset.records[:200]
+        processor = GPHQueryProcessor(records, part_size=8)
+        estimator = exact_part_estimator(processor, records)
+        plan = processor.plan(records[0], 8, estimator)
+        assert sum(plan.allocation) >= processor.allocation_budget(8)
+        assert plan.estimated_candidates >= 0.0
+        assert plan.allocation_seconds >= 0.0
+        # Executing a precomputed plan skips re-allocation and matches.
+        execution = processor.execute(records[0], 8, plan=plan)
+        direct = processor.execute(records[0], 8, estimator)
+        assert execution.allocation == direct.allocation
+        assert execution.num_results == direct.num_results
+        # The exact oracle's DP cost equals the candidate upper bound shape:
+        # estimated >= actual results is not guaranteed, but both are finite.
+        assert np.isfinite(plan.estimated_candidates)
+
+    def test_execute_requires_estimator_or_plan(self, binary_dataset):
+        processor = GPHQueryProcessor(binary_dataset.records[:50], part_size=8)
+        with pytest.raises(ValueError):
+            processor.execute(binary_dataset.records[0], 4)
+
+    def test_injected_selector_is_reused(self, binary_dataset):
+        from repro.selection import PigeonholeHammingSelector
+
+        selector = PigeonholeHammingSelector(binary_dataset.records[:100], part_size=8)
+        processor = GPHQueryProcessor([], selector=selector)
+        assert processor.selector is selector
+        assert processor.part_size == 8
+        assert processor.num_parts == len(selector.parts)

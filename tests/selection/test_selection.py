@@ -185,3 +185,63 @@ class TestDefaultSelector:
     def test_unknown_distance(self):
         with pytest.raises(KeyError):
             default_selector("cosine", [])
+
+
+class TestCardinalityCurve:
+    """cardinality_curve must equal the per-threshold scalar loop exactly."""
+
+    @pytest.mark.parametrize(
+        "fixture_name,distance_name",
+        [
+            ("binary_dataset", "hamming"),
+            ("string_dataset", "edit"),
+            ("set_dataset", "jaccard"),
+            ("vector_dataset", "euclidean"),
+        ],
+    )
+    def test_curve_matches_scalar_loop(self, request, fixture_name, distance_name):
+        dataset = request.getfixturevalue(fixture_name)
+        from repro.distances import get_distance
+
+        distance = get_distance(distance_name)
+        selectors = [
+            default_selector(distance_name, dataset.records),
+            LinearScanSelector(dataset.records, distance),
+        ]
+        if distance_name == "hamming":
+            selectors.append(PigeonholeHammingSelector(dataset.records, part_size=8))
+        if distance.integer_valued:
+            thresholds = [0.0, 1.0, 3.0, float(int(dataset.theta_max))]
+        else:
+            thresholds = [0.0, dataset.theta_max * 0.4, dataset.theta_max]
+        rng = np.random.default_rng(2)
+        for record_id in rng.choice(len(dataset.records), size=6, replace=False):
+            record = dataset.records[int(record_id)]
+            for selector in selectors:
+                curve = selector.cardinality_curve(record, thresholds)
+                scalar = [selector.cardinality(record, theta) for theta in thresholds]
+                assert curve.tolist() == scalar, type(selector).__name__
+
+    def test_unsorted_thresholds_supported(self, binary_dataset):
+        selector = default_selector("hamming", binary_dataset.records)
+        record = binary_dataset.records[0]
+        curve = selector.cardinality_curve(record, [5.0, 1.0, 3.0])
+        assert curve.tolist() == [
+            selector.cardinality(record, t) for t in (5.0, 1.0, 3.0)
+        ]
+
+    def test_empty_thresholds(self, binary_dataset):
+        selector = default_selector("hamming", binary_dataset.records)
+        assert selector.cardinality_curve(binary_dataset.records[0], []).size == 0
+
+
+class TestVerifiedCandidates:
+    def test_matches_query_and_reports_cost(self, binary_dataset):
+        selector = PigeonholeHammingSelector(binary_dataset.records, part_size=8)
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            record = binary_dataset.records[rng.integers(0, len(binary_dataset.records))]
+            threshold = int(rng.integers(2, 10))
+            matches, candidates = selector.verified_candidates(record, threshold)
+            assert matches == selector.query(record, threshold)
+            assert candidates >= len(matches)

@@ -385,3 +385,60 @@ class TestUpdateInvalidation:
         direct = estimator.estimate_batch(records, np.asarray(thetas))
         assert served == pytest.approx(direct, abs=1e-9)
         assert not np.array_equal(served, before)  # the retrain actually moved it
+
+    def test_revalidate_without_update(self, fresh_setup, binary_dataset, binary_workload):
+        """Drift-triggered revalidation: no dataset change, labels refreshed,
+        retrain only when forced or degraded."""
+        estimator, service = fresh_setup
+        manager = self._manager(
+            estimator, binary_dataset, binary_workload, service, max_epochs_per_update=1
+        )
+        report = manager.revalidate()
+        assert not report.retrained  # first call sets the baseline
+        assert report.validation_msle_after == report.validation_msle_before
+        forced = manager.revalidate(force_retrain=True)
+        assert forced.retrained and forced.epochs_run >= 1
+        # Post-retrain, served answers match the moved model bit-for-bit.
+        records = [e.record for e in binary_workload.validation[:10]]
+        thetas = [e.theta for e in binary_workload.validation[:10]]
+        served = service.estimate_many("cardnet/hm", records, thetas)
+        direct = estimator.estimate_batch(records, np.asarray(thetas))
+        assert served == pytest.approx(direct, abs=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Feedback-loop telemetry (observations + drift counters)
+# --------------------------------------------------------------------------- #
+class TestFeedbackTelemetry:
+    def test_q_error_convention_matches_metric(self):
+        from repro.metrics import mean_q_error
+        from repro.serving import q_error
+
+        pairs = [(10.0, 12.0), (3.0, 300.0), (0.0, 0.0), (7.0, 1.0)]
+        telemetry_mean = np.mean([q_error(est, act) for est, act in pairs])
+        metric_mean = mean_q_error([act for _, act in pairs], [est for est, _ in pairs])
+        assert telemetry_mean == pytest.approx(metric_mean)
+
+    def test_record_observation_accumulates(self):
+        from repro.serving import ServingTelemetry
+
+        telemetry = ServingTelemetry()
+        telemetry.record_observation("e", estimated=10.0, actual=20.0)
+        telemetry.record_observation("e", estimated=5.0, actual=5.0)
+        stats = telemetry.endpoint("e")
+        assert stats.observations == 2
+        assert stats.mean_q_error == pytest.approx(1.5)
+        assert stats.q_error_max == pytest.approx(2.0)
+        assert telemetry.total.observations == 2
+        snapshot = stats.snapshot()
+        assert snapshot["mean_q_error"] == pytest.approx(1.5)
+        assert snapshot["drift_events"] == 0
+
+    def test_record_drift_counts(self):
+        from repro.serving import ServingTelemetry
+
+        telemetry = ServingTelemetry()
+        telemetry.record_drift("e")
+        telemetry.record_drift("e")
+        assert telemetry.endpoint("e").drift_events == 2
+        assert telemetry.total.drift_events == 2

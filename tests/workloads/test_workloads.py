@@ -159,3 +159,53 @@ class TestQueryExample:
         assert example.record == "abc"
         assert example.theta == 2.0
         assert example.cardinality == 7
+
+
+class TestVectorizedLabelling:
+    """label_queries/relabel must produce exactly the labels of the scalar loop."""
+
+    def _scalar_label(self, queries, thresholds, selector):
+        return [
+            QueryExample(record=record, theta=float(theta), cardinality=selector.cardinality(record, float(theta)))
+            for record in queries
+            for theta in thresholds
+        ]
+
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["binary_dataset", "string_dataset", "set_dataset", "vector_dataset"],
+    )
+    def test_label_queries_matches_scalar_loop(self, request, fixture_name):
+        dataset = request.getfixturevalue(fixture_name)
+        selector = default_selector(dataset.distance_name, dataset.records)
+        distance = get_distance(dataset.distance_name)
+        rng = np.random.default_rng(8)
+        queries = [
+            dataset.records[int(i)]
+            for i in rng.choice(len(dataset.records), size=5, replace=False)
+        ]
+        if distance.integer_valued:
+            thresholds = [1.0, 2.0, float(int(dataset.theta_max))]
+        else:
+            thresholds = [dataset.theta_max * f for f in (0.2, 0.5, 1.0)]
+        fast = label_queries(queries, thresholds, selector)
+        slow = self._scalar_label(queries, thresholds, selector)
+        assert [(e.theta, e.cardinality) for e in fast] == [
+            (e.theta, e.cardinality) for e in slow
+        ]
+
+    def test_relabel_matches_scalar_loop(self, binary_dataset):
+        selector = default_selector("hamming", binary_dataset.records)
+        rng = np.random.default_rng(9)
+        queries = [binary_dataset.records[int(i)] for i in rng.integers(0, 100, size=4)]
+        examples = label_queries(queries, [2.0, 4.0, 6.0], selector)
+        # Relabel against a shrunken dataset.
+        smaller = default_selector("hamming", binary_dataset.records[:150])
+        fast = relabel(examples, smaller)
+        slow = [
+            QueryExample(e.record, e.theta, smaller.cardinality(e.record, e.theta))
+            for e in examples
+        ]
+        assert [(e.theta, e.cardinality) for e in fast] == [
+            (e.theta, e.cardinality) for e in slow
+        ]
