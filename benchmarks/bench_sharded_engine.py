@@ -1,0 +1,203 @@
+"""Sharded execution smoke benchmark: exact fan-out scaling + cache parity.
+
+Two sections, each emitting a machine-readable ``JSON:`` line:
+
+* **exact execution scaling** — the same selection workload answered by (a)
+  the unsharded brute-force :class:`LinearScanSelector` (the no-index
+  reference), (b) one unsharded :class:`PackedHammingSelector`, and (c) a
+  :class:`ShardedSelector` over packed per-shard indexes at 1/2/4/8 shards
+  (thread-pool fan-out + merge).  Every path must return bit-identical
+  results; the headline assertion is the sharded engine's wall-clock speedup
+  over the unsharded scan at 4 shards.  Per-shard-count seconds are reported
+  so multi-core machines show the fan-out scaling curve (on a single-core
+  runner the curve is flat and the speedup comes from the per-shard indexes).
+
+* **cache-hit parity** — the same estimation workload served by an unsharded
+  endpoint and by a :class:`ShardedEstimatorGroup` (per-shard endpoints plus
+  the merged summed-curve endpoint).  The second pass must be answered fully
+  from cache on BOTH deployments (hit rate 1.0), with identical per-request
+  accounting on the client-facing endpoint, and the merged curves must stay
+  monotone — the monotonicity-under-sum argument, measured.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.db_specialized import HistogramHammingEstimator
+from repro.datasets import make_binary_dataset
+from repro.distances import get_distance
+from repro.selection import LinearScanSelector, PackedHammingSelector
+from repro.serving import EstimationService
+from repro.sharding import ShardedEstimatorGroup, ShardedSelector
+
+NUM_RECORDS = 12000
+DIMENSION = 64
+NUM_QUERIES = 60
+THETA_MAX = 16
+SHARD_COUNTS = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def shard_dataset():
+    return make_binary_dataset(
+        num_records=NUM_RECORDS, dimension=DIMENSION, num_clusters=16,
+        flip_probability=0.08, theta_max=THETA_MAX, seed=17, name="HM-Sharded",
+    )
+
+
+@pytest.fixture(scope="module")
+def shard_workload(shard_dataset):
+    rng = np.random.default_rng(23)
+    picks = rng.integers(0, len(shard_dataset.records), size=NUM_QUERIES)
+    records = [shard_dataset.records[int(i)] for i in picks]
+    thetas = [float(rng.integers(4, THETA_MAX)) for _ in range(NUM_QUERIES)]
+    return records, thetas
+
+
+def test_sharded_execution_exact_and_faster_than_scan(
+    shard_dataset, shard_workload, print_table
+):
+    records, thetas = shard_workload
+
+    scan = LinearScanSelector(shard_dataset.records, get_distance("hamming"))
+    start = time.perf_counter()
+    reference = [scan.query(record, theta) for record, theta in zip(records, thetas)]
+    scan_seconds = time.perf_counter() - start
+
+    packed = PackedHammingSelector(shard_dataset.records)
+    start = time.perf_counter()
+    packed_results = [
+        packed.query(record, theta) for record, theta in zip(records, thetas)
+    ]
+    packed_seconds = time.perf_counter() - start
+    assert packed_results == reference
+
+    shard_seconds = {}
+    for num_shards in SHARD_COUNTS:
+        sharded = ShardedSelector(
+            shard_dataset.records,
+            PackedHammingSelector,
+            num_shards=num_shards,
+            partitioner="round_robin",
+        )
+        start = time.perf_counter()
+        sharded_results = sharded.query_many(records, thetas)
+        shard_seconds[num_shards] = time.perf_counter() - start
+        # The headline invariant: fan-out + merge is bit-identical to the
+        # unsharded scan, whatever the shard count.
+        assert sharded_results == reference
+
+    rows = [["linear scan (unsharded)", f"{scan_seconds:.4f}", "-"]]
+    rows.append(
+        ["packed index (unsharded)", f"{packed_seconds:.4f}",
+         f"{scan_seconds / packed_seconds:.1f}x"]
+    )
+    rows.extend(
+        [f"sharded x{num_shards}", f"{shard_seconds[num_shards]:.4f}",
+         f"{scan_seconds / shard_seconds[num_shards]:.1f}x"]
+        for num_shards in SHARD_COUNTS
+    )
+    print_table(
+        f"Sharded exact execution — {NUM_QUERIES} queries, "
+        f"{NUM_RECORDS} x {DIMENSION}-bit records (cpus={os.cpu_count()})",
+        ["path", "seconds", "vs scan"],
+        rows,
+    )
+    speedup_at_4 = scan_seconds / shard_seconds[4]
+    payload = {
+        "benchmark": "sharded_engine",
+        "section": "exact_execution_scaling",
+        "num_records": NUM_RECORDS,
+        "num_queries": NUM_QUERIES,
+        "cpu_count": os.cpu_count(),
+        "linear_scan_seconds": scan_seconds,
+        "packed_unsharded_seconds": packed_seconds,
+        "sharded_seconds": {str(k): v for k, v in shard_seconds.items()},
+        "speedup_4_shards_vs_scan": speedup_at_4,
+        "results_identical": True,
+    }
+    print("JSON: " + json.dumps(payload, default=float))
+    assert speedup_at_4 > 1.5
+
+
+def test_sharded_service_cache_parity(shard_dataset, shard_workload, print_table):
+    records, thetas = shard_workload
+    grid = np.arange(THETA_MAX + 1, dtype=np.float64)
+
+    unsharded_service = EstimationService()
+    unsharded_service.register(
+        "hm", HistogramHammingEstimator(shard_dataset.records),
+        curve_thetas=grid, distance_name="hamming",
+    )
+
+    sharded_service = EstimationService()
+    sharded = ShardedSelector(
+        shard_dataset.records, PackedHammingSelector, num_shards=4,
+        partitioner="round_robin",
+    )
+    group = ShardedEstimatorGroup(
+        "hm",
+        sharded_service,
+        [
+            HistogramHammingEstimator(np.asarray(shard.dataset))
+            for shard in sharded.shards
+        ],
+        curve_thetas=grid,
+        distance_name="hamming",
+    )
+
+    for service in (unsharded_service, sharded_service):
+        service.estimate_many("hm", records, thetas)   # cold pass
+        service.estimate_many("hm", records, thetas)   # warm pass
+    # Snapshot the counters now — the monotonicity checks below go through
+    # the same live telemetry and would skew the printed parity numbers.
+    unsharded_stats = unsharded_service.telemetry.endpoint("hm").snapshot()
+    merged_stats = sharded_service.telemetry.endpoint("hm").snapshot()
+
+    # Parity: the client-facing endpoint accounts requests identically and the
+    # warm pass is answered fully from cache on both deployments.
+    assert merged_stats["requests"] == unsharded_stats["requests"]
+    assert merged_stats["cache_hits"] == unsharded_stats["cache_hits"]
+    assert merged_stats["hit_rate"] == pytest.approx(unsharded_stats["hit_rate"])
+    assert merged_stats["cache_hits"] >= len(records)  # the whole warm pass
+
+    # Monotonicity under sum, measured on served curves.
+    for record in records[:10]:
+        curve = group.estimate_curve(record)
+        assert np.all(np.diff(curve) >= -1e-9)
+
+    rows = [
+        ["unsharded", str(unsharded_stats["requests"]),
+         f"{unsharded_stats['hit_rate']:.3f}", str(len(unsharded_service.cache))],
+        ["sharded x4 (merged)", str(merged_stats["requests"]),
+         f"{merged_stats['hit_rate']:.3f}", str(len(sharded_service.cache))],
+    ]
+    print_table(
+        "Cache-hit parity — same workload twice through both deployments",
+        ["deployment", "requests", "hit rate", "cached curves"],
+        rows,
+    )
+    payload = {
+        "benchmark": "sharded_engine",
+        "section": "cache_hit_parity",
+        "num_queries": NUM_QUERIES,
+        "unsharded": {
+            "requests": unsharded_stats["requests"],
+            "hit_rate": unsharded_stats["hit_rate"],
+            "cached_curves": len(unsharded_service.cache),
+        },
+        "sharded": {
+            "requests": merged_stats["requests"],
+            "hit_rate": merged_stats["hit_rate"],
+            "cached_curves": len(sharded_service.cache),
+            "num_shards": group.num_shards,
+        },
+        "merged_curves_monotone": True,
+    }
+    print("JSON: " + json.dumps(payload, default=float))

@@ -10,6 +10,8 @@ Public API highlights
 * :mod:`repro.optimizer` — the query-optimizer case studies (§9.11).
 * :mod:`repro.serving` — registry + micro-batching service + curve cache.
 * :mod:`repro.engine` — end-to-end query engine (plan → execute → feedback).
+* :mod:`repro.sharding` — horizontal scale-out: partitioned exact selection
+  and per-shard serving endpoints merged by curve summation.
 """
 
 from .core import CardinalityEstimator, CardNet, CardNetConfig, CardNetEstimator
@@ -17,9 +19,10 @@ from .datasets import DEFAULT_DATASETS, load_dataset
 from .engine import ConjunctiveQuery, SimilarityPredicate, SimilarityQueryEngine
 from .metrics import AccuracyReport, mape, mean_q_error, mse
 from .serving import CurveCache, EstimationService, EstimatorRegistry
+from .sharding import ShardedEstimatorGroup, ShardedSelector
 from .workloads import Workload, build_workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CardNet",
@@ -32,6 +35,8 @@ __all__ = [
     "SimilarityQueryEngine",
     "SimilarityPredicate",
     "ConjunctiveQuery",
+    "ShardedSelector",
+    "ShardedEstimatorGroup",
     "load_dataset",
     "DEFAULT_DATASETS",
     "build_workload",

@@ -9,7 +9,7 @@ flushes stale curves and drives incremental revalidation.
 """
 
 from .catalog import AttributeBinding, AttributeCatalog
-from .engine import SimilarityQueryEngine
+from .engine import ShardedRevalidationReport, ShardedUpdateReport, SimilarityQueryEngine
 from .executor import QueryExecutor, QueryResult
 from .feedback import DriftEvent, FeedbackMonitor
 from .planner import PlannedPredicate, QueryPlan, QueryPlanner, ServicePartCurves
@@ -31,4 +31,6 @@ __all__ = [
     "FeedbackMonitor",
     "DriftEvent",
     "SimilarityQueryEngine",
+    "ShardedUpdateReport",
+    "ShardedRevalidationReport",
 ]

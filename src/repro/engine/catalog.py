@@ -32,6 +32,10 @@ class AttributeBinding:
     #: Per-part serving endpoints, present only for GPH-planned Hamming
     #: attributes (one endpoint per pigeonhole part).
     part_endpoints: List[str] = field(default_factory=list)
+    #: Per-shard serving endpoints (``name#shardK``), present only for
+    #: horizontally sharded attributes; ``endpoint`` is then the merged
+    #: endpoint whose curves sum the per-shard cached curves.
+    shard_endpoints: List[str] = field(default_factory=list)
     #: Bumped on every :meth:`replace_records`; consumers (feedback manager
     #: links) use it to detect that their dataset view went stale.
     version: int = 0
@@ -45,6 +49,11 @@ class AttributeBinding:
         return bool(self.part_endpoints) and isinstance(
             self.selector, PigeonholeHammingSelector
         )
+
+    @property
+    def sharded(self) -> bool:
+        """Whether this attribute executes by fan-out over per-shard indexes."""
+        return bool(self.shard_endpoints)
 
     def values_at(self, record_ids: np.ndarray) -> Sequence:
         """Column values at ``record_ids`` (vectorized for array columns)."""

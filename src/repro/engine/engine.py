@@ -18,21 +18,61 @@ everything below it into a system that answers similarity queries end to end:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from ..baselines.db_specialized import HistogramHammingEstimator
-from ..core.incremental import IncrementalUpdateManager, UpdateStepReport
+from ..core.incremental import (
+    IncrementalUpdateManager,
+    RevalidationReport,
+    UpdateStepReport,
+)
 from ..core.interface import CardinalityEstimator
 from ..datasets.updates import UpdateOperation, apply_operation
-from ..selection import PigeonholeHammingSelector, SimilaritySelector
+from ..selection import PigeonholeHammingSelector, SimilaritySelector, default_selector
 from ..serving import EstimationService
+from ..sharding import Partitioner, ShardedEstimatorGroup, ShardedSelector
+from ..sharding.group import resolve_curve_grid
 from .catalog import AttributeBinding, AttributeCatalog
 from .executor import QueryExecutor, QueryResult
 from .feedback import FeedbackMonitor
 from .planner import QueryPlan, QueryPlanner
 from .spec import ConjunctiveQuery, SimilarityPredicate, as_queries, as_query
+
+
+@dataclass
+class ShardedUpdateReport:
+    """Outcome of one update routed through a sharded attribute: which shards
+    it touched and, where a per-shard manager was attached, that shard's
+    paper-§8 step report.  Untouched shards did no work at all."""
+
+    operation_index: int
+    touched_shards: List[int]
+    dataset_size: int
+    reports: Dict[int, UpdateStepReport] = field(default_factory=dict)
+
+    @property
+    def retrained_shards(self) -> List[int]:
+        return sorted(
+            shard for shard, report in self.reports.items() if report.retrained
+        )
+
+
+@dataclass
+class ShardedRevalidationReport:
+    """Aggregate of per-shard drift-triggered revalidations (one per manager)."""
+
+    reports: Dict[int, RevalidationReport] = field(default_factory=dict)
+
+    @property
+    def retrained(self) -> bool:
+        return any(report.retrained for report in self.reports.values())
+
+    @property
+    def epochs_run(self) -> int:
+        return int(sum(report.epochs_run for report in self.reports.values()))
 
 
 class _ManagerLink:
@@ -63,6 +103,42 @@ class _ManagerLink:
         return self.manager.revalidate()
 
 
+class _ShardedManagerLink:
+    """Feedback-side handle fanning drift repairs out to per-shard managers.
+
+    Drift is detected on the *merged* endpoint (that is the estimate queries
+    are planned against), but repair is per shard: every attached manager
+    revalidates its own shard — after resyncing its dataset view to that
+    shard's current records if engine updates bypassed the managers.
+    """
+
+    def __init__(
+        self, binding: AttributeBinding, managers: Dict[int, IncrementalUpdateManager]
+    ) -> None:
+        self.binding = binding
+        self.managers = dict(managers)
+        self._synced_version = binding.version
+
+    def sync(self) -> None:
+        if self._synced_version == self.binding.version:
+            return
+        selector = self.binding.selector
+        for shard_id, manager in self.managers.items():
+            shard = selector.shard(shard_id)
+            manager.records = list(shard.dataset)
+            manager.selector = shard
+        self._synced_version = self.binding.version
+
+    def revalidate(self) -> ShardedRevalidationReport:
+        self.sync()
+        return ShardedRevalidationReport(
+            reports={
+                shard_id: manager.revalidate()
+                for shard_id, manager in sorted(self.managers.items())
+            }
+        )
+
+
 class SimilarityQueryEngine:
     """End-to-end engine over one table of similarity-queryable attributes."""
 
@@ -84,7 +160,9 @@ class SimilarityQueryEngine:
             min_observations=min_feedback_observations,
         )
         self._managers: Dict[str, IncrementalUpdateManager] = {}
-        self._links: Dict[str, _ManagerLink] = {}
+        self._links: Dict[str, "Union[_ManagerLink, _ShardedManagerLink]"] = {}
+        self._groups: Dict[str, ShardedEstimatorGroup] = {}
+        self._shard_managers: Dict[str, Dict[int, IncrementalUpdateManager]] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -172,6 +250,152 @@ class SimilarityQueryEngine:
             )
             binding.part_endpoints.append(endpoint)
 
+    def register_sharded_attribute(
+        self,
+        name: str,
+        records: Sequence,
+        distance_name: str,
+        estimator_factory: Callable[[Sequence, int], CardinalityEstimator],
+        num_shards: Optional[int] = None,
+        partitioner: "Union[str, Partitioner, None]" = None,
+        selector_factory: Optional[Callable[[Sequence], SimilaritySelector]] = None,
+        theta_max: Optional[float] = None,
+        curve_thetas: Optional[Sequence[float]] = None,
+        parallel: bool = True,
+    ) -> AttributeBinding:
+        """Register one attribute partitioned across ``num_shards`` shards.
+
+        The records are partitioned (hash by default; ``num_shards`` defaults
+        to 4 and must agree with an explicitly supplied ``partitioner``
+        instance), one exact index is built per shard (``selector_factory``
+        over the shard's records, or the distance's default selector), and
+        ``estimator_factory(shard_records, shard_index)`` supplies one
+        estimator per shard.  Serving endpoints:
+        ``name#shardK`` per shard plus a merged ``name`` endpoint whose curves
+        are the sums of the per-shard cached curves — the planner addresses
+        only the merged endpoint, the executor fans out across the shard
+        indexes in parallel and merges exactly.
+        """
+        from ..distances import get_distance
+
+        if name in self.catalog:
+            raise KeyError(f"attribute {name!r} is already registered")
+        distance = get_distance(distance_name)
+        if selector_factory is None:
+            selector_factory = lambda shard_records: default_selector(  # noqa: E731
+                distance_name, shard_records
+            )
+        sharded = ShardedSelector(
+            records,
+            selector_factory,
+            num_shards=num_shards,
+            partitioner=partitioner,
+            parallel=parallel,
+        )
+        estimators = [
+            estimator_factory(list(shard.dataset), shard_index)
+            for shard_index, shard in enumerate(sharded.shards)
+        ]
+        if (
+            curve_thetas is None
+            and theta_max is not None
+            and distance.integer_valued
+            and estimators[0].curve_thetas() is None
+        ):
+            curve_thetas = np.arange(int(theta_max) + 1, dtype=np.float64)
+        grid = resolve_curve_grid(estimators, curve_thetas, theta_max)
+        if theta_max is None:
+            theta_max = float(grid[-1])
+        # Endpoints first (atomic inside the group), catalog second with
+        # rollback: a failure on either side leaves no half-registered state.
+        group = ShardedEstimatorGroup(
+            name,
+            self.service,
+            estimators,
+            curve_thetas=grid,
+            distance_name=distance_name,
+        )
+        try:
+            binding = self.catalog.add(
+                name,
+                records,
+                distance_name,
+                endpoint=name,
+                theta_max=theta_max,
+                selector=sharded,
+            )
+        except Exception:
+            group.unregister()
+            raise
+        binding.shard_endpoints = list(group.shard_endpoints)
+        self._groups[name] = group
+        return binding
+
+    def shard_group(self, name: str) -> ShardedEstimatorGroup:
+        """The serving group behind a sharded attribute (introspection)."""
+        return self._groups[name]
+
+    def attach_shard_managers(
+        self,
+        name: str,
+        managers: "Union[Sequence[IncrementalUpdateManager], Mapping[int, IncrementalUpdateManager]]",
+    ) -> None:
+        """Wire one :class:`~repro.core.IncrementalUpdateManager` per shard.
+
+        Each manager must hold that shard's records/selector and shard-local
+        labelled examples; :meth:`apply_update` then routes every update to
+        only the managers of the shards it touches (paper §8 per shard), and
+        drift on the merged endpoint revalidates every attached shard.
+        A manager without a service connection adopts the engine's service
+        under its shard's endpoint, so its invalidations stay shard-local.
+        """
+        binding = self.catalog.get(name)
+        if not binding.sharded:
+            raise ValueError(
+                f"attribute {name!r} is not sharded; use attach_manager instead"
+            )
+        if not isinstance(managers, Mapping):
+            managers = dict(enumerate(managers))
+        selector: ShardedSelector = binding.selector
+        normalized: Dict[int, IncrementalUpdateManager] = {}
+        for shard_id, manager in managers.items():
+            shard_id = int(shard_id)
+            if not 0 <= shard_id < len(binding.shard_endpoints):
+                raise ValueError(
+                    f"shard {shard_id} out of range for {name!r} "
+                    f"({len(binding.shard_endpoints)} shards)"
+                )
+            if len(manager.records) != len(selector.shard(shard_id)):
+                raise ValueError(
+                    f"manager for shard {shard_id} holds {len(manager.records)} "
+                    f"records but the shard has {len(selector.shard(shard_id))}; "
+                    "build managers from the shard's own records"
+                )
+            shard_endpoint = binding.shard_endpoints[shard_id]
+            if manager.service is None:
+                manager.service = self.service
+                manager.service_endpoint = shard_endpoint
+            elif (
+                manager.service is not self.service
+                or manager.service_endpoint != shard_endpoint
+            ):
+                # A mis-wired manager would invalidate the wrong endpoint on
+                # update/retrain; the stale shard curve would then be summed
+                # into every merged answer — silently wrong estimates.
+                raise ValueError(
+                    f"manager for shard {shard_id} is wired to endpoint "
+                    f"{manager.service_endpoint!r} on "
+                    f"{'another service' if manager.service is not self.service else 'this service'}; "
+                    f"it must serve {shard_endpoint!r} on the engine's service "
+                    "(or be left unwired to adopt it)"
+                )
+            manager.ensure_baseline()
+            normalized[shard_id] = manager
+        link = _ShardedManagerLink(binding, normalized)
+        self.feedback.attach_manager(binding.endpoint, link)
+        self._links[name] = link
+        self._shard_managers[name] = normalized
+
     def attach_manager(
         self, name: str, manager: IncrementalUpdateManager, route_updates: bool = True
     ) -> None:
@@ -191,6 +415,11 @@ class SimilarityQueryEngine:
         engine actually answers from.
         """
         binding = self.catalog.get(name)
+        if binding.sharded:
+            raise ValueError(
+                f"attribute {name!r} is sharded; attach one manager per shard "
+                "with attach_shard_managers"
+            )
         if manager.service is None:
             manager.service = self.service
             manager.service_endpoint = binding.endpoint
@@ -237,16 +466,20 @@ class SimilarityQueryEngine:
     # ------------------------------------------------------------------ #
     def apply_update(
         self, name: str, operation: UpdateOperation, operation_index: int = 0
-    ) -> Optional[UpdateStepReport]:
+    ) -> "Union[UpdateStepReport, ShardedUpdateReport, None]":
         """Apply one dataset update to an attribute and resynchronize.
 
         With a manager attached the update takes the paper-§8 path (relabel,
         monitor, retrain incrementally if degraded, invalidate served curves);
         without one the records are updated and the cached curves dropped.
         Either way the binding's index and any per-part endpoints rebuild over
-        the new records.
+        the new records.  Sharded attributes route per shard: only the shards
+        the operation touches rebuild their index, invalidate their endpoint,
+        and (when per-shard managers are attached) relabel/retrain.
         """
         binding = self.catalog.get(name)
+        if binding.sharded:
+            return self._apply_sharded_update(binding, operation, operation_index)
         manager = self._managers.get(name)
         report: Optional[UpdateStepReport] = None
         if manager is not None:
@@ -260,6 +493,46 @@ class SimilarityQueryEngine:
         if isinstance(binding.selector, PigeonholeHammingSelector):
             self._register_part_endpoints(binding)
         return report
+
+    def _apply_sharded_update(
+        self,
+        binding: AttributeBinding,
+        operation: UpdateOperation,
+        operation_index: int,
+    ) -> ShardedUpdateReport:
+        """The per-shard §8 path: route, repair touched shards only, commit."""
+        selector: ShardedSelector = binding.selector
+        routing = selector.route_operation(operation)
+        managers = self._shard_managers.get(binding.name, {})
+        reports: Dict[int, UpdateStepReport] = {}
+        rebuilt: Dict[int, SimilaritySelector] = {}
+        for shard_id, local_operation in sorted(routing.local_operations.items()):
+            manager = managers.get(shard_id)
+            if manager is not None:
+                # The manager applies the local operation itself (relabel,
+                # monitor, retrain if degraded) and invalidates its shard
+                # endpoint; adopt its rebuilt selector instead of rebuilding.
+                reports[shard_id] = manager.process(local_operation, operation_index)
+                rebuilt[shard_id] = manager.selector
+            else:
+                self.service.invalidate(binding.shard_endpoints[shard_id])
+        selector.apply_routed(routing, rebuilt)
+        binding.records = selector.dataset
+        binding.version += 1
+        # Merged curves are sums over every shard — stale whenever any shard
+        # moved, even though untouched shards keep their own cached curves.
+        self.service.invalidate(binding.endpoint)
+        link = self._links.get(binding.name)
+        if link is not None:
+            # Touched shards went through their managers (or have none);
+            # untouched shards never moved: the link's view is current.
+            link._synced_version = binding.version
+        return ShardedUpdateReport(
+            operation_index=operation_index,
+            touched_shards=routing.touched_shards,
+            dataset_size=len(binding.records),
+            reports=reports,
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection

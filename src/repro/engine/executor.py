@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..selection import PigeonholeHammingSelector
+from ..sharding import ShardedSelector
 from .catalog import AttributeCatalog
 from .planner import QueryPlan
 
@@ -37,6 +38,9 @@ class QueryResult:
     #: Records examined by residual verification, summed over stages.
     verification_examined: int
     execution_seconds: float = 0.0
+    #: Per-shard driver match counts when the driving attribute is sharded
+    #: (``sum(shard_counts) == driver_actual``); ``None`` otherwise.
+    shard_counts: Optional[List[int]] = None
 
     def __len__(self) -> int:
         return len(self.record_ids)
@@ -57,6 +61,7 @@ class QueryExecutor:
         driver_binding = self.catalog.get(plan.driver.attribute)
         driver_predicate = plan.driver.predicate
 
+        shard_counts: Optional[List[int]] = None
         if plan.allocation is not None and isinstance(
             driver_binding.selector, PigeonholeHammingSelector
         ):
@@ -65,6 +70,13 @@ class QueryExecutor:
                 driver_predicate.theta,
                 allocation=plan.allocation,
             )
+        elif isinstance(driver_binding.selector, ShardedSelector):
+            # Parallel fan-out across shard indexes; per-shard counts are the
+            # observations a per-shard feedback loop would consume.
+            matches, shard_counts = driver_binding.selector.query_with_counts(
+                driver_predicate.record, driver_predicate.theta
+            )
+            driver_candidates = len(matches)
         else:
             matches = driver_binding.selector.query(
                 driver_predicate.record, driver_predicate.theta
@@ -92,4 +104,5 @@ class QueryExecutor:
             driver_actual=driver_actual,
             verification_examined=verification_examined,
             execution_seconds=time.perf_counter() - start,
+            shard_counts=shard_counts,
         )

@@ -51,10 +51,19 @@ class FeedbackMonitor:
             raise ValueError("drift_threshold is a q-error and must be >= 1")
         if min_observations <= 0 or window_size <= 0:
             raise ValueError("window_size and min_observations must be positive")
+        if min_observations > window_size:
+            # The deque's maxlen caps len(window) at window_size, so a larger
+            # min_observations could never be reached and drift would silently
+            # never fire — reject the dead configuration loudly.
+            raise ValueError(
+                f"min_observations ({min_observations}) must not exceed "
+                f"window_size ({window_size}); the window can never grow past "
+                "window_size, so drift detection would be unreachable"
+            )
         self.service = service
         self.drift_threshold = float(drift_threshold)
         self.window_size = int(window_size)
-        self.min_observations = min(int(min_observations), int(window_size))
+        self.min_observations = int(min_observations)
         self._windows: Dict[str, Deque[float]] = {}
         self._managers: Dict[str, object] = {}
         self.events: List[DriftEvent] = []

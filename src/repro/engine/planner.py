@@ -89,6 +89,10 @@ class QueryPlan:
     allocation: Optional[List[int]] = None
     estimated_candidates: float = 0.0
     planning_seconds: float = 0.0
+    #: Number of shards the driving predicate executes over (1 = unsharded).
+    #: The estimate behind ``driver`` is the merged (summed-curve) endpoint's,
+    #: so planning sees one monotone curve however many shards execute it.
+    driver_shards: int = 1
 
     @property
     def estimated_result_cardinality(self) -> float:
@@ -101,7 +105,8 @@ class QueryPlan:
             f"QueryPlan for {self.query!r}",
             f"  drive   {self.driver.attribute} (theta={self.driver.theta:g}, "
             f"est={self.driver.estimated_cardinality:.1f})"
-            + (f" allocation={self.allocation}" if self.allocation is not None else ""),
+            + (f" allocation={self.allocation}" if self.allocation is not None else "")
+            + (f" shards={self.driver_shards}" if self.driver_shards > 1 else ""),
         ]
         lines.extend(
             f"  verify  {planned.attribute} (theta={planned.theta:g}, "
@@ -173,6 +178,8 @@ class QueryPlanner:
             planning_seconds=planning_seconds,
         )
         binding = self.catalog.get(driver.attribute)
+        if binding.sharded:
+            plan.driver_shards = len(binding.shard_endpoints)
         if binding.uses_gph:
             gph_start = time.perf_counter()
             gph_plan = GPHQueryProcessor(binding.records, selector=binding.selector).plan(

@@ -44,9 +44,21 @@ class CurveCache:
         return curve
 
     def put(self, estimator_name: str, record_key: bytes, curve: np.ndarray) -> None:
+        """Cache one curve.  The array is frozen in place (``write=False``):
+        ``get`` hands the *same* ndarray to every future hit, so a caller
+        mutating its result would otherwise silently corrupt every later
+        answer for that record.  Callers needing a mutable curve copy it.
+        """
         key = (estimator_name, record_key)
         if key in self._entries:
             self._entries.move_to_end(key)
+        curve = np.asarray(curve)
+        if curve.base is not None:
+            # Freezing a VIEW would not freeze its base — the caller could
+            # still mutate the cached data through the base array. Own the
+            # memory before freezing so the guarantee actually holds.
+            curve = curve.copy()
+        curve.setflags(write=False)
         self._entries[key] = curve
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -118,15 +118,23 @@ class EstimationService:
     def estimate_many(
         self, name: str, records: Sequence[Any], thetas: Sequence[float]
     ) -> np.ndarray:
-        """Batched estimates for one estimator, answered from cached curves."""
+        """Batched estimates for one estimator, answered from cached curves.
+
+        The endpoint is resolved *before* the empty-batch short-circuit: an
+        unknown endpoint raises even when there is no work to do, instead of
+        silently succeeding on empty input.
+        """
+        start = time.perf_counter()
+        entry = self.registry.get(name)
         records = list(records)
-        if not records:
-            return np.zeros(0)
         thetas = np.asarray(thetas, dtype=np.float64)
         if len(thetas) != len(records):
             raise ValueError("records and thetas must have the same length")
-        start = time.perf_counter()
-        entry = self.registry.get(name)
+        if not records:
+            # Zero-work requests still show up in the latency telemetry, so
+            # per-request accounting stays consistent across batch sizes.
+            self.telemetry.record_latency(name, time.perf_counter() - start)
+            return np.zeros(0)
         curves = self._curves_for(entry, records)
         columns = entry.curve_indices(thetas)  # one vectorized map per batch
         answers = np.asarray(
@@ -147,6 +155,24 @@ class EstimationService:
         curve = self._curves_for(entry, [record])[0]
         self.telemetry.record_latency(name, time.perf_counter() - start)
         return curve.copy()
+
+    def estimate_curve_many(self, name: str, records: Sequence[Any]) -> np.ndarray:
+        """One cached curve per record, stacked into a fresh ``(n, t)`` matrix.
+
+        The batched analogue of :meth:`estimate_curve` — misses are computed
+        in one micro-batch, hits come straight from the cache.  The sharded
+        serving layer sums these matrices across shard endpoints.
+        """
+        start = time.perf_counter()
+        entry = self.registry.get(name)
+        records = list(records)
+        if not records:
+            self.telemetry.record_latency(name, time.perf_counter() - start)
+            return np.zeros((0, len(entry.curve_thetas)))
+        curves = self._curves_for(entry, records)
+        stacked = np.stack(curves)  # a copy: cached rows stay frozen
+        self.telemetry.record_latency(name, time.perf_counter() - start)
+        return stacked
 
     # ------------------------------------------------------------------ #
     # Deferred micro-batching

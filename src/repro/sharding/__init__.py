@@ -1,0 +1,37 @@
+"""Horizontal scale-out: partitioned exact selection and sharded serving.
+
+The monotone-curve guarantee composes under partitioning — a sum of per-shard
+monotone cardinality curves is itself monotone — so both halves of the stack
+shard cleanly:
+
+* :class:`ShardedSelector` answers exact selections by thread-pool fan-out +
+  merge over per-shard indexes, bit-identical to the unsharded selector;
+* :class:`ShardedEstimatorGroup` serves one endpoint per shard
+  (``name#shardK``) plus a merged endpoint whose curves are the sums of the
+  per-shard cached curves;
+* updates route per shard (:meth:`ShardedSelector.route_operation`), so an
+  insert or delete relabels/retrains only the shard it touched.
+"""
+
+from .group import MergedShardEstimator, ShardedEstimatorGroup, resolve_curve_grid
+from .partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    ShardAssignment,
+    get_partitioner,
+)
+from .selector import ShardedSelector, ShardRouting
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RoundRobinPartitioner",
+    "ShardAssignment",
+    "get_partitioner",
+    "ShardedSelector",
+    "ShardRouting",
+    "ShardedEstimatorGroup",
+    "MergedShardEstimator",
+    "resolve_curve_grid",
+]

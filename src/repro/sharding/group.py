@@ -1,0 +1,242 @@
+"""Sharded serving: one endpoint per shard, one merged endpoint summing them.
+
+The paper's headline property — monotone cardinality curves — composes under
+horizontal partitioning: each shard's estimator serves a monotone curve over
+the *same* threshold grid, and the full-dataset estimate is their elementwise
+sum, which is again monotone.  :class:`ShardedEstimatorGroup` materializes
+that argument in the serving layer:
+
+* every shard estimator registers as its own endpoint (``name#shardK``) with
+  its own micro-batching and curve cache, so a shard-local update invalidates
+  and recomputes only that shard's curves;
+* a *merged* endpoint under the bare ``name`` is registered alongside, backed
+  by :class:`MergedShardEstimator` — its curves are the sums of the per-shard
+  *cached* curves, fetched through the same service, so planners address one
+  endpoint and still benefit from per-shard cache locality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.interface import CardinalityEstimator
+from ..serving import DEFAULT_CURVE_RESOLUTION, EstimationService
+
+
+def resolve_curve_grid(
+    estimators: Sequence[CardinalityEstimator],
+    curve_thetas: Optional[Sequence[float]] = None,
+    theta_max: Optional[float] = None,
+    curve_resolution: int = DEFAULT_CURVE_RESOLUTION,
+) -> np.ndarray:
+    """The shared threshold grid every shard endpoint serves curves on.
+
+    Per-shard curves only sum meaningfully when they share one grid, so the
+    grid is resolved once for the whole group: an explicit ``curve_thetas``,
+    the estimators' common canonical grid (it must be *identical* across
+    shards), or a uniform grid over ``[0, theta_max]``.
+    """
+    if curve_thetas is not None:
+        grid = np.asarray(curve_thetas, dtype=np.float64)
+    else:
+        canonical = estimators[0].curve_thetas()
+        if canonical is not None:
+            for shard_index, estimator in enumerate(estimators[1:], start=1):
+                other = estimator.curve_thetas()
+                if other is None or not np.array_equal(other, canonical):
+                    raise ValueError(
+                        f"shard {shard_index} has a different canonical curve grid "
+                        "than shard 0; per-shard curves only sum on a shared grid "
+                        "— pass an explicit curve_thetas"
+                    )
+            grid = np.asarray(canonical, dtype=np.float64)
+        elif theta_max is not None:
+            grid = np.linspace(0.0, float(theta_max), int(curve_resolution))
+        else:
+            raise ValueError(
+                "shard estimators have no canonical curve grid; "
+                "pass curve_thetas or theta_max"
+            )
+    if grid.ndim != 1 or grid.size == 0:
+        raise ValueError("curve grid must be a non-empty 1-D array")
+    return grid
+
+
+class MergedShardEstimator(CardinalityEstimator):
+    """Full-dataset estimates as the sum of per-shard *served* curves.
+
+    Registered as the merged endpoint of a :class:`ShardedEstimatorGroup`;
+    when the service asks it for curves it turns around and fetches each
+    shard endpoint's cached curves through the same service, then sums.
+    Monotonicity survives by construction: a sum of monotone non-decreasing
+    curves is monotone non-decreasing.
+    """
+
+    name = "ShardSum"
+
+    def __init__(
+        self,
+        service: EstimationService,
+        shard_endpoints: Sequence[str],
+        shard_estimators: Sequence[CardinalityEstimator],
+        grid: np.ndarray,
+    ) -> None:
+        self._service = service
+        self._shard_endpoints = list(shard_endpoints)
+        self._shard_estimators = list(shard_estimators)
+        self._grid = np.asarray(grid, dtype=np.float64)
+        self.monotonic = all(estimator.monotonic for estimator in shard_estimators)
+
+    def estimate_batch(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        """Direct (service-free) sum of shard estimates; the serving hot path
+        goes through :meth:`estimate_curve_many` instead."""
+        records = list(records)
+        if not records:
+            return np.zeros(0)
+        total = np.zeros(len(records), dtype=np.float64)
+        for estimator in self._shard_estimators:
+            total += np.asarray(estimator.estimate_batch(records, thetas), dtype=np.float64)
+        return total
+
+    def estimate_curve_many(
+        self,
+        records: Sequence[Any],
+        thetas: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        if thetas is not None and not np.array_equal(
+            np.asarray(thetas, dtype=np.float64), self._grid
+        ):
+            raise ValueError(
+                "a merged shard endpoint serves curves only on the group's "
+                "shared grid; re-register the group with the desired grid"
+            )
+        records = list(records)
+        if not records:
+            return np.zeros((0, len(self._grid)))
+        total = np.zeros((len(records), len(self._grid)), dtype=np.float64)
+        for endpoint in self._shard_endpoints:
+            total += self._service.estimate_curve_many(endpoint, records)
+        return total
+
+    def curve_thetas(self) -> Optional[np.ndarray]:
+        return self._grid.copy()
+
+    def curve_indices(self, thetas: Sequence[float], grid: np.ndarray) -> np.ndarray:
+        # Delegate to a shard estimator so θ → column quantization matches the
+        # per-shard endpoints exactly (shards are homogeneous by construction).
+        return self._shard_estimators[0].curve_indices(thetas, grid)
+
+    def size_in_bytes(self) -> int:
+        return int(sum(estimator.size_in_bytes() for estimator in self._shard_estimators))
+
+
+class ShardedEstimatorGroup:
+    """Registers per-shard endpoints (``name#shardK``) plus the merged one."""
+
+    def __init__(
+        self,
+        name: str,
+        service: EstimationService,
+        estimators: Sequence[CardinalityEstimator],
+        curve_thetas: Optional[Sequence[float]] = None,
+        theta_max: Optional[float] = None,
+        curve_resolution: int = DEFAULT_CURVE_RESOLUTION,
+        distance_name: str = "",
+    ) -> None:
+        estimators = list(estimators)
+        if not estimators:
+            raise ValueError("a sharded group needs at least one shard estimator")
+        self.name = name
+        self.service = service
+        self.estimators = estimators
+        self.curve_thetas = resolve_curve_grid(
+            estimators, curve_thetas, theta_max, curve_resolution
+        )
+        self.shard_endpoints: List[str] = []
+        # Registration is atomic: a name collision partway through (e.g. the
+        # merged name is already taken) must not leak half the endpoints.
+        registered: List[str] = []
+        try:
+            for shard_index, estimator in enumerate(estimators):
+                endpoint = f"{name}#shard{shard_index}"
+                service.register(
+                    endpoint,
+                    estimator,
+                    curve_thetas=self.curve_thetas,
+                    distance_name=distance_name,
+                    metadata={"shard_of": name, "shard_index": shard_index},
+                )
+                registered.append(endpoint)
+                self.shard_endpoints.append(endpoint)
+            self.merged = MergedShardEstimator(
+                service, self.shard_endpoints, estimators, self.curve_thetas
+            )
+            service.register(
+                name,
+                self.merged,
+                distance_name=distance_name,
+                metadata={"sharded": True, "num_shards": len(estimators)},
+            )
+        except Exception:
+            for endpoint in registered:
+                service.unregister(endpoint)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Serving façade (everything flows through the merged endpoint)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_endpoints)
+
+    def estimate_many(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        return self.service.estimate_many(self.name, records, thetas)
+
+    def estimate(self, record: Any, theta: float) -> float:
+        return self.service.estimate(self.name, record, theta)
+
+    def estimate_curve(self, record: Any) -> np.ndarray:
+        return self.service.estimate_curve(self.name, record)
+
+    def estimate_curve_many(self, records: Sequence[Any]) -> np.ndarray:
+        return self.service.estimate_curve_many(self.name, records)
+
+    def shard_estimates(self, records: Sequence[Any], thetas: Sequence[float]) -> np.ndarray:
+        """Per-shard served estimates, shape ``(num_shards, n)`` (introspection)."""
+        return np.stack(
+            [
+                self.service.estimate_many(endpoint, records, thetas)
+                for endpoint in self.shard_endpoints
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cache coherence
+    # ------------------------------------------------------------------ #
+    def invalidate_shard(self, shard_index: int) -> int:
+        """Drop one shard's cached curves — and the merged endpoint's, which
+        are sums over every shard and therefore stale whenever any shard moves."""
+        dropped = self.service.invalidate(self.shard_endpoints[shard_index])
+        dropped += self.service.invalidate(self.name)
+        return dropped
+
+    def invalidate(self) -> int:
+        dropped = sum(
+            self.service.invalidate(endpoint) for endpoint in self.shard_endpoints
+        )
+        return dropped + self.service.invalidate(self.name)
+
+    def unregister(self) -> None:
+        for endpoint in [*self.shard_endpoints, self.name]:
+            self.service.unregister(endpoint)
+
+    def stats(self) -> Dict[str, Any]:
+        snapshot = self.service.telemetry.snapshot()
+        return {
+            "merged": snapshot.get(self.name, {}),
+            "shards": {
+                endpoint: snapshot.get(endpoint, {}) for endpoint in self.shard_endpoints
+            },
+        }

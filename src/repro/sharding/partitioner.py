@@ -1,0 +1,127 @@
+"""Partitioning dataset records across shards.
+
+A :class:`Partitioner` maps records to shard ids; a :class:`ShardAssignment`
+is the materialized mapping the sharded selector and serving group share: for
+every *global* record id it knows the shard and the *local* id inside that
+shard, and per shard it keeps the ascending list of global ids.  Local ids
+follow global order within each shard, so applying a routed per-shard update
+(:mod:`repro.sharding.selector`) keeps both views consistent.
+
+Two partitioners are provided:
+
+* :class:`HashPartitioner` — a stable content hash of the record (via the
+  serving layer's :func:`~repro.serving.default_record_key` bytes key), so a
+  record always lands on the same shard regardless of arrival order;
+* :class:`RoundRobinPartitioner` — ``global index mod num_shards``, the
+  balanced choice when records carry no natural key.
+
+Correctness never depends on the partitioning: the sharded selector answers
+by exact fan-out + merge, so any assignment yields bit-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Union
+
+import numpy as np
+
+from ..serving.registry import default_record_key
+
+
+@dataclass
+class ShardAssignment:
+    """Materialized record → shard mapping with both global and local views."""
+
+    num_shards: int
+    #: Shard id of every global record id, shape ``(n,)``.
+    shard_of: np.ndarray
+    #: Local id (position inside its shard) of every global record id.
+    local_of: np.ndarray
+    #: Per shard, the ascending global ids it holds (``global_ids[s][l]``
+    #: inverts ``local_of``).
+    global_ids: List[np.ndarray]
+
+    @classmethod
+    def from_shard_of(cls, shard_of: np.ndarray, num_shards: int) -> "ShardAssignment":
+        shard_of = np.asarray(shard_of, dtype=np.int64)
+        if shard_of.size and (shard_of.min() < 0 or shard_of.max() >= num_shards):
+            raise ValueError(f"shard ids must lie in [0, {num_shards})")
+        global_ids = [np.flatnonzero(shard_of == shard) for shard in range(num_shards)]
+        local_of = np.empty(len(shard_of), dtype=np.int64)
+        for ids in global_ids:
+            local_of[ids] = np.arange(len(ids), dtype=np.int64)
+        return cls(
+            num_shards=num_shards,
+            shard_of=shard_of,
+            local_of=local_of,
+            global_ids=global_ids,
+        )
+
+    def __len__(self) -> int:
+        return len(self.shard_of)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(ids) for ids in self.global_ids]
+
+    def to_global(self, shard: int, local_ids: Sequence[int]) -> np.ndarray:
+        """Translate shard-local match ids back to global record ids."""
+        return self.global_ids[shard][np.asarray(local_ids, dtype=np.int64)]
+
+
+class Partitioner(ABC):
+    """Maps records to shard ids; stateless, so rebuilds are deterministic."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = int(num_shards)
+
+    @abstractmethod
+    def assign(self, records: Sequence[Any], start_index: int = 0) -> np.ndarray:
+        """Shard id per record.  ``start_index`` is the global id the first
+        record will receive (used by index-based partitioners on inserts)."""
+
+    def partition(self, records: Sequence[Any]) -> ShardAssignment:
+        return ShardAssignment.from_shard_of(self.assign(records, 0), self.num_shards)
+
+
+class HashPartitioner(Partitioner):
+    """Stable content hash of the record → shard (arrival-order independent)."""
+
+    def assign(self, records: Sequence[Any], start_index: int = 0) -> np.ndarray:
+        return np.asarray(
+            [
+                int.from_bytes(
+                    hashlib.blake2b(default_record_key(record), digest_size=8).digest(),
+                    "big",
+                )
+                % self.num_shards
+                for record in records
+            ],
+            dtype=np.int64,
+        )
+
+
+class RoundRobinPartitioner(Partitioner):
+    """``global index mod num_shards`` — perfectly balanced, key-free."""
+
+    def assign(self, records: Sequence[Any], start_index: int = 0) -> np.ndarray:
+        return (np.arange(start_index, start_index + len(records)) % self.num_shards).astype(
+            np.int64
+        )
+
+
+def get_partitioner(
+    partitioner: Union[str, Partitioner, None], num_shards: int
+) -> Partitioner:
+    """Resolve a partitioner spec: an instance, a name, or ``None`` (hash)."""
+    if isinstance(partitioner, Partitioner):
+        return partitioner
+    if partitioner is None or partitioner == "hash":
+        return HashPartitioner(num_shards)
+    if partitioner == "round_robin":
+        return RoundRobinPartitioner(num_shards)
+    raise KeyError(f"unknown partitioner {partitioner!r}; use 'hash' or 'round_robin'")

@@ -1,0 +1,291 @@
+"""Exact similarity selection over horizontally sharded data.
+
+:class:`ShardedSelector` partitions the dataset into shards (one inner
+selector per shard, built by a caller-supplied factory) and answers every
+query by fan-out + merge: each shard runs the exact selection on its slice —
+in parallel on a thread pool — and the shard-local match ids are translated
+back to global record ids and merged in ascending order.  Because every shard
+is exact and the merge loses nothing, results are bit-identical to running
+the unsharded selector over the full dataset, for any partitioning.
+
+Updates route the same way (§8 per shard, not globally): an insert/delete
+expressed against *global* record ids is translated into one local operation
+per touched shard (:meth:`ShardedSelector.route_operation`), so only the
+touched shards rebuild their index — and only their estimators need to
+relabel/retrain.  Shards nobody touched keep their index, labels, model, and
+served curves.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..datasets.updates import UpdateOperation, apply_operation
+from ..selection.base import SimilaritySelector
+from .partitioner import Partitioner, ShardAssignment, get_partitioner
+
+#: Builds the exact selector for one shard's records.
+SelectorFactory = Callable[[Sequence], SimilaritySelector]
+
+
+@dataclass
+class ShardRouting:
+    """A global update translated into per-shard local operations.
+
+    Produced by :meth:`ShardedSelector.route_operation` *before* anything is
+    applied, so callers (the engine's update path) can hand each touched
+    shard's local operation to that shard's update manager first, then commit
+    with :meth:`ShardedSelector.apply_routed`.
+    """
+
+    operation: UpdateOperation
+    #: Touched shard → the operation expressed in that shard's local ids.
+    local_operations: Dict[int, UpdateOperation] = field(default_factory=dict)
+    #: Shard id per global record id *after* the operation.
+    new_shard_of: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    #: The full record list after the operation.
+    new_dataset: List = field(default_factory=list)
+
+    @property
+    def touched_shards(self) -> List[int]:
+        return sorted(self.local_operations)
+
+
+class ShardedSelector(SimilaritySelector):
+    """Fan-out + merge over per-shard exact selectors (thread-pool parallel)."""
+
+    DEFAULT_NUM_SHARDS = 4
+
+    def __init__(
+        self,
+        dataset: Sequence,
+        selector_factory: SelectorFactory,
+        num_shards: Optional[int] = None,
+        partitioner: Union[str, Partitioner, None] = None,
+        parallel: bool = True,
+    ) -> None:
+        super().__init__(dataset)
+        self.selector_factory = selector_factory
+        if isinstance(partitioner, Partitioner):
+            if num_shards is not None and int(num_shards) != partitioner.num_shards:
+                raise ValueError(
+                    f"num_shards={num_shards} conflicts with the supplied "
+                    f"partitioner's {partitioner.num_shards} shards; pass one "
+                    "or the other (silently preferring either would hand back "
+                    "a different shard count than requested)"
+                )
+            self.partitioner = partitioner
+        else:
+            self.partitioner = get_partitioner(
+                partitioner,
+                self.DEFAULT_NUM_SHARDS if num_shards is None else int(num_shards),
+            )
+        self.num_shards = self.partitioner.num_shards
+        self.parallel = bool(parallel)
+        self._assignment = self.partitioner.partition(self._dataset)
+        self._shards: List[SimilaritySelector] = [
+            selector_factory([self._dataset[int(i)] for i in ids])
+            for ids in self._assignment.global_ids
+        ]
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def assignment(self) -> ShardAssignment:
+        return self._assignment
+
+    @property
+    def shards(self) -> List[SimilaritySelector]:
+        return list(self._shards)
+
+    def shard(self, shard_id: int) -> SimilaritySelector:
+        return self._shards[shard_id]
+
+    def shard_sizes(self) -> List[int]:
+        return self._assignment.shard_sizes()
+
+    # ------------------------------------------------------------------ #
+    # Parallel fan-out
+    # ------------------------------------------------------------------ #
+    def _map_shards(self, task: Callable[[SimilaritySelector], Any]) -> List[Any]:
+        """Run ``task`` on every shard selector, in parallel when enabled.
+
+        Thread parallelism pays off because the shard kernels are numpy
+        scans/reductions that release the GIL; with one shard (or disabled
+        parallelism) the plain loop avoids pool overhead entirely.
+        """
+        if not self.parallel or self.num_shards == 1:
+            return [task(shard) for shard in self._shards]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_shards, thread_name_prefix="repro-shard"
+            )
+        futures = [self._pool.submit(task, shard) for shard in self._shards]
+        return [future.result() for future in futures]
+
+    def _merge(self, local_matches: Sequence[Sequence[int]]) -> np.ndarray:
+        """Translate per-shard local match ids to one sorted global id array."""
+        parts = [
+            self._assignment.to_global(shard_id, matches)
+            for shard_id, matches in enumerate(local_matches)
+            if len(matches)
+        ]
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    # ------------------------------------------------------------------ #
+    # Exact selection (bit-identical to the unsharded selector)
+    # ------------------------------------------------------------------ #
+    def query(self, record: Any, threshold: float) -> List[int]:
+        merged, _ = self.query_with_counts(record, threshold)
+        return merged
+
+    def query_with_counts(
+        self, record: Any, threshold: float
+    ) -> Tuple[List[int], List[int]]:
+        """Global match ids plus the per-shard match counts (executor telemetry)."""
+        local_matches = self._map_shards(lambda shard: shard.query(record, threshold))
+        merged = self._merge(local_matches)
+        return [int(i) for i in merged], [len(matches) for matches in local_matches]
+
+    def query_many(
+        self, records: Sequence[Any], thresholds: Sequence[float]
+    ) -> List[List[int]]:
+        """Batched fan-out: each shard answers the whole workload in one task,
+        amortizing the thread dispatch over every query."""
+        if len(records) != len(thresholds):
+            raise ValueError("records and thresholds must have the same length")
+        per_shard = self._map_shards(
+            lambda shard: [
+                shard.query(record, float(threshold))
+                for record, threshold in zip(records, thresholds)
+            ]
+        )
+        return [
+            [int(i) for i in self._merge([matches[q] for matches in per_shard])]
+            for q in range(len(records))
+        ]
+
+    def cardinality(self, record: Any, threshold: float) -> int:
+        return int(sum(self._map_shards(lambda shard: shard.cardinality(record, threshold))))
+
+    def cardinality_curve(self, record: Any, thresholds: Sequence[float]) -> np.ndarray:
+        """Sum of per-shard exact curves — exact, and (like any sum of
+        monotone curves) monotone non-decreasing in the threshold."""
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if thresholds.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        curves = self._map_shards(lambda shard: shard.cardinality_curve(record, thresholds))
+        return np.sum(curves, axis=0).astype(np.int64)
+
+    def rebuild(self, dataset: Sequence) -> "ShardedSelector":
+        return ShardedSelector(
+            dataset,
+            self.selector_factory,
+            partitioner=self.partitioner,
+            parallel=self.parallel,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Update routing (the per-shard §8 path)
+    # ------------------------------------------------------------------ #
+    def route_operation(self, operation: UpdateOperation) -> ShardRouting:
+        """Translate a global update into per-shard local operations.
+
+        Nothing is applied; the returned routing is committed with
+        :meth:`apply_routed`.  Applying each shard's local operation to that
+        shard's records yields exactly the shards of the globally updated
+        dataset — deletes replay :func:`~repro.datasets.updates.apply_operation`
+        semantics (descending positional order, out-of-range skipped) so the
+        two views cannot diverge.
+        """
+        assignment = self._assignment
+        local_operations: Dict[int, UpdateOperation] = {}
+        if operation.kind == "insert":
+            new_records = list(operation.records)
+            shard_ids = self.partitioner.assign(new_records, start_index=len(self._dataset))
+            for shard_id in np.unique(shard_ids):
+                subset = [
+                    record
+                    for record, shard in zip(new_records, shard_ids)
+                    if shard == shard_id
+                ]
+                local_operations[int(shard_id)] = UpdateOperation("insert", subset)
+            new_shard_of = np.concatenate([assignment.shard_of, shard_ids])
+            new_dataset = self._dataset + new_records
+        else:  # delete, by global positional index
+            # Positions shift as deletes apply; replay them descending over a
+            # live view of original ids, exactly like apply_operation does.
+            alive = list(range(len(self._dataset)))
+            removed = np.zeros(len(self._dataset), dtype=bool)
+            per_shard_locals: Dict[int, List[int]] = {}
+            for position in sorted((int(i) for i in operation.records), reverse=True):
+                if not 0 <= position < len(alive):
+                    continue
+                original = alive.pop(position)
+                removed[original] = True
+                shard_id = int(assignment.shard_of[original])
+                per_shard_locals.setdefault(shard_id, []).append(
+                    int(assignment.local_of[original])
+                )
+            local_operations = {
+                shard_id: UpdateOperation("delete", locals_)
+                for shard_id, locals_ in per_shard_locals.items()
+            }
+            new_shard_of = assignment.shard_of[~removed]
+            # `alive` already holds the surviving original ids in order — no
+            # need to replay the deletes a second time via apply_operation.
+            new_dataset = [self._dataset[i] for i in alive]
+        return ShardRouting(
+            operation=operation,
+            local_operations=local_operations,
+            new_shard_of=new_shard_of,
+            new_dataset=new_dataset,
+        )
+
+    def apply_routed(
+        self,
+        routing: ShardRouting,
+        rebuilt_shards: Optional[Dict[int, SimilaritySelector]] = None,
+    ) -> None:
+        """Commit a routed update in place, rebuilding only touched shards.
+
+        ``rebuilt_shards`` carries shard selectors an external component (a
+        per-shard :class:`~repro.core.IncrementalUpdateManager`) already
+        rebuilt while processing its local operation — those are adopted
+        instead of rebuilt a second time.
+        """
+        rebuilt_shards = rebuilt_shards or {}
+        new_assignment = ShardAssignment.from_shard_of(
+            routing.new_shard_of, self.num_shards
+        )
+        for shard_id, local_operation in routing.local_operations.items():
+            expected = len(new_assignment.global_ids[shard_id])
+            if shard_id in rebuilt_shards:
+                shard = rebuilt_shards[shard_id]
+            else:
+                shard = self.selector_factory(
+                    apply_operation(self._shards[shard_id].dataset, local_operation)
+                )
+            if len(shard) != expected:
+                raise ValueError(
+                    f"shard {shard_id} has {len(shard)} records after the update, "
+                    f"expected {expected}; the routed local operation and the "
+                    "adopted selector disagree"
+                )
+            self._shards[shard_id] = shard
+        self._assignment = new_assignment
+        self._dataset = list(routing.new_dataset)
+
+    def apply_operation(self, operation: UpdateOperation) -> ShardRouting:
+        """Route and commit a global update in one call (no external managers)."""
+        routing = self.route_operation(operation)
+        self.apply_routed(routing)
+        return routing

@@ -345,6 +345,23 @@ class TestFeedback:
         with pytest.raises(TypeError):
             monitor.attach_manager("x", object())
 
+    def test_monitor_rejects_unreachable_min_observations(self):
+        """min_observations > window_size can never be met (the deque caps at
+        window_size), so drift would silently never fire — reject loudly
+        instead of clamping (regression)."""
+        service = EstimationService()
+        with pytest.raises(ValueError):
+            FeedbackMonitor(service, window_size=8, min_observations=9)
+        # The boundary configuration is legal and fires.
+        service.register("e", ConstantEstimator(1.0), theta_max=4.0)
+        monitor = FeedbackMonitor(
+            service, drift_threshold=2.0, window_size=4, min_observations=4
+        )
+        event = None
+        for _ in range(4):
+            event = monitor.observe("e", estimated=1.0, actual=1000.0)
+        assert event is not None
+
 
 # --------------------------------------------------------------------------- #
 # Updates through the engine

@@ -117,6 +117,26 @@ class TestCurveCache:
         with pytest.raises(ValueError):
             CurveCache(capacity=0)
 
+    def test_put_freezes_the_cached_array(self):
+        cache = CurveCache(capacity=4)
+        curve = np.arange(3, dtype=np.float64)
+        cache.put("e", b"k", curve)
+        handed_out = cache.get("e", b"k")
+        with pytest.raises(ValueError):
+            handed_out[0] = 99.0
+        with pytest.raises(ValueError):
+            curve[0] = 99.0  # the caller's reference is the same frozen array
+        assert np.array_equal(cache.get("e", b"k"), [0.0, 1.0, 2.0])
+
+    def test_put_of_a_view_cannot_be_poisoned_through_its_base(self):
+        """Freezing a view would not freeze its base — put must own the
+        memory before freezing or the poisoning hole stays open (regression)."""
+        cache = CurveCache(capacity=4)
+        base = np.zeros((2, 3), dtype=np.float64)
+        cache.put("e", b"k", base[0])
+        base[0, 0] = 99.0  # mutate through the base, not the cached handle
+        assert np.array_equal(cache.get("e", b"k"), [0.0, 0.0, 0.0])
+
 
 # --------------------------------------------------------------------------- #
 # Service: correctness of the cached curve path
@@ -195,6 +215,47 @@ class TestServiceCorrectness:
 
     def test_empty_batch(self, service):
         assert service.estimate_many("cardnet/hm", [], []).shape == (0,)
+
+    def test_empty_batch_on_unknown_endpoint_raises(self, service):
+        """Endpoint resolution happens before the empty short-circuit: an
+        unknown endpoint must not silently succeed just because there was
+        no work to do (regression)."""
+        with pytest.raises(KeyError):
+            service.estimate_many("nope", [], [])
+
+    def test_empty_batch_records_latency_telemetry(self, trained_cardnet):
+        service = EstimationService()
+        service.register("m", trained_cardnet)
+        service.estimate_many("m", [], [])
+        stats = service.telemetry.endpoint("m")
+        assert stats.requests == 0  # no records were served...
+        assert stats.latency_seconds > 0.0  # ...but the request was timed
+
+    def test_estimate_curve_many_matches_singles(self, service, binary_dataset):
+        records = [binary_dataset.records[i] for i in range(4)]
+        stacked = service.estimate_curve_many("cardnet/hm", records)
+        singles = [service.estimate_curve("cardnet/hm", record) for record in records]
+        assert np.array_equal(stacked, np.stack(singles))
+        assert stacked.flags.writeable  # callers get a fresh matrix
+        empty = service.estimate_curve_many("cardnet/hm", [])
+        assert empty.shape == (0, len(service.registry.get("cardnet/hm").curve_thetas))
+
+    def test_cached_curves_cannot_be_poisoned_by_callers(self, service, binary_dataset):
+        """A caller mutating a curve it was handed must not corrupt future
+        hits: cached arrays are frozen at put time (regression)."""
+        record = binary_dataset.records[0]
+        service.estimate("cardnet/hm", record, 4.0)
+        entry = service.registry.get("cardnet/hm")
+        cached = service.cache.get("cardnet/hm", entry.key_for(record))
+        before = cached.copy()
+        with pytest.raises(ValueError):
+            cached[:] = -1.0
+        assert np.array_equal(
+            service.cache.get("cardnet/hm", entry.key_for(record)), before
+        )
+        # Served answers keep matching the uncorrupted curve.
+        again = service.estimate("cardnet/hm", record, 4.0)
+        assert again == pytest.approx(before[entry.curve_index(4.0)])
 
 
 # --------------------------------------------------------------------------- #
