@@ -1,0 +1,30 @@
+"""Benchmark artifact output: ``BENCH_<name>.json`` files + ``JSON:`` lines.
+
+Every benchmark section calls :func:`emit_json` with a unique name.  The
+payload is printed as a machine-readable ``JSON:`` line (the historical
+convention, greppable from CI logs) AND written to ``BENCH_<name>.json`` in
+``$BENCH_DIR`` (default: the current working directory), so CI can upload the
+files as artifacts and the benchmark trajectory accumulates across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+
+def bench_output_dir() -> Path:
+    return Path(os.environ.get("BENCH_DIR", "."))
+
+
+def emit_json(name: str, payload: Dict[str, Any]) -> Path:
+    """Print the ``JSON:`` line and write ``BENCH_<name>.json``; returns the path."""
+    line = json.dumps(payload, default=float)
+    print("JSON: " + line)
+    directory = bench_output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(line + "\n", encoding="utf-8")
+    return path

@@ -19,12 +19,12 @@ Two sections, each emitting a machine-readable ``JSON:`` line:
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
 import pytest
 
+from artifacts import emit_json
 from repro.baselines import UniformSamplingEstimator
 from repro.core import CardNetEstimator, IncrementalUpdateManager
 from repro.datasets import make_multi_attribute_relation
@@ -126,7 +126,7 @@ def test_engine_beats_brute_force(conjunctive_setup, big_relation, print_table):
         "results_identical": True,
         "service_cache": engine.service.stats()["cache"],
     }
-    print("JSON: " + json.dumps(payload, default=float))
+    emit_json("engine_end_to_end", payload)
 
     # The headline claim: estimator-driven planning + index execution beats
     # scanning every record for every predicate on a >= 1k-record dataset.
@@ -236,7 +236,7 @@ def test_feedback_loop_detects_update_drift(hamming_feedback_setup, hm_dataset, 
         ],
         "feedback": engine.feedback.snapshot(),
     }
-    print("JSON: " + json.dumps(payload, default=float))
+    emit_json("engine_feedback_loop", payload)
 
     # The loop's contract: quiet while healthy, loud after unnotified updates,
     # and the repair actually retrains the model through the manager.

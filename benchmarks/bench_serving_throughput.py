@@ -20,12 +20,12 @@ faster still.
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
 import pytest
 
+from artifacts import emit_json
 from repro.baselines import build_estimator
 from repro.serving import EstimationService
 
@@ -124,7 +124,7 @@ def test_serving_throughput(serving_estimators, serving_workload, hm_dataset, pr
         "results": results,
         "service": service.stats(),
     }
-    print("JSON: " + json.dumps(payload, default=float))
+    emit_json("serving_throughput", payload)
 
     # Headline claims: vectorized batching beats the scalar loop by >= 5x on
     # CardNet, and warm curve-cache serving is faster still.

@@ -22,13 +22,13 @@ Two sections, each emitting a machine-readable ``JSON:`` line:
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import numpy as np
 import pytest
 
+from artifacts import emit_json
 from repro.baselines.db_specialized import HistogramHammingEstimator
 from repro.datasets import make_binary_dataset
 from repro.distances import get_distance
@@ -122,7 +122,7 @@ def test_sharded_execution_exact_and_faster_than_scan(
         "speedup_4_shards_vs_scan": speedup_at_4,
         "results_identical": True,
     }
-    print("JSON: " + json.dumps(payload, default=float))
+    emit_json("sharded_exact_scaling", payload)
     assert speedup_at_4 > 1.5
 
 
@@ -200,4 +200,4 @@ def test_sharded_service_cache_parity(shard_dataset, shard_workload, print_table
         },
         "merged_curves_monotone": True,
     }
-    print("JSON: " + json.dumps(payload, default=float))
+    emit_json("sharded_cache_parity", payload)

@@ -12,6 +12,8 @@ Public API highlights
 * :mod:`repro.engine` — end-to-end query engine (plan → execute → feedback).
 * :mod:`repro.sharding` — horizontal scale-out: partitioned exact selection
   and per-shard serving endpoints merged by curve summation.
+* :mod:`repro.store` — versioned engine snapshots, warm-start restore, and
+  snapshot-spawned read replicas.
 """
 
 from .core import CardinalityEstimator, CardNet, CardNetConfig, CardNetEstimator
@@ -20,6 +22,7 @@ from .engine import ConjunctiveQuery, SimilarityPredicate, SimilarityQueryEngine
 from .metrics import AccuracyReport, mape, mean_q_error, mse
 from .serving import CurveCache, EstimationService, EstimatorRegistry
 from .sharding import ShardedEstimatorGroup, ShardedSelector
+from .store import ReplicaSet, load_engine, save_engine
 from .workloads import Workload, build_workload
 
 __version__ = "1.3.0"
@@ -37,6 +40,9 @@ __all__ = [
     "ConjunctiveQuery",
     "ShardedSelector",
     "ShardedEstimatorGroup",
+    "ReplicaSet",
+    "save_engine",
+    "load_engine",
     "load_dataset",
     "DEFAULT_DATASETS",
     "build_workload",

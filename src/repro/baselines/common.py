@@ -19,6 +19,15 @@ from ..featurization.base import FeatureExtractor
 from ..workloads.examples import QueryExample
 
 
+def raw_record_vector(record: Any) -> np.ndarray:
+    """Flatten a Hamming/Euclidean record into a float feature vector.
+
+    Module-level (rather than a closure inside ``for_dataset``) so featurizers
+    built over raw vectors stay snapshottable by :mod:`repro.store`.
+    """
+    return np.asarray(record, dtype=np.float64).reshape(-1)
+
+
 def counts_within_thresholds(distance_matrix: np.ndarray, thetas: np.ndarray) -> np.ndarray:
     """Per-row counts of distances within each grid threshold: (rows, grid).
 
@@ -61,11 +70,7 @@ class QueryFeaturizer:
         """Raw vectors for HM/EU data; CardNet's feature extraction for ED/JC."""
         if dataset.distance_name in ("hamming", "euclidean"):
             dimension = int(dataset.extra.get("dimension", len(dataset.records[0])))
-
-            def record_to_vector(record) -> np.ndarray:
-                return np.asarray(record, dtype=np.float64).reshape(-1)
-
-            return cls(record_to_vector, dataset.theta_max, dimension)
+            return cls(raw_record_vector, dataset.theta_max, dimension)
         extractor = extractor or build_feature_extractor(dataset, seed=seed)
         return cls(extractor.transform_record, dataset.theta_max, extractor.dimension)
 

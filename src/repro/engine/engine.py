@@ -535,6 +535,26 @@ class SimilarityQueryEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # Persistence (repro.store)
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> "Any":
+        """Snapshot the full engine — models, indexes, warm caches, shard
+        assignments, feedback state — to directory ``path``.  Returns the
+        :class:`~repro.store.SnapshotInfo`; restore with :meth:`load`."""
+        from ..store import save_engine
+
+        return save_engine(self, path)
+
+    @classmethod
+    def load(cls, path) -> "SimilarityQueryEngine":
+        """Warm-start restore of an engine saved by :meth:`save`: the restored
+        engine answers bit-identically to the saved one (estimates, plans,
+        results, cache hits) and its drift/retrain loop resumes in place."""
+        from ..store import load_engine
+
+        return load_engine(path)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:

@@ -18,19 +18,37 @@ from .module import Module
 PathLike = Union[str, os.PathLike]
 
 
+def _archive_path(path: Path) -> Path:
+    """The file :func:`numpy.savez` actually writes: ``np.savez`` appends a
+    ``.npz`` suffix whenever the given name lacks one."""
+    return path if path.name.endswith(".npz") else path.with_name(path.name + ".npz")
+
+
 def save_module(module: Module, path: PathLike) -> int:
-    """Serialize ``module`` parameters to ``path`` and return the byte size."""
+    """Serialize ``module`` parameters to ``path`` and return the byte size.
+
+    The size is taken from the archive ``np.savez`` actually produced —
+    for a suffix-less ``path``, numpy writes ``path.npz``, so statting
+    ``path`` itself would raise (or measure an unrelated file).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     state = module.state_dict()
     # npz keys cannot contain '/', dots are fine.
     np.savez(path, **state)
-    return path.stat().st_size
+    return _archive_path(path).stat().st_size
 
 
 def load_module(module: Module, path: PathLike) -> Module:
-    """Load parameters saved by :func:`save_module` into ``module`` in place."""
-    with np.load(Path(path)) as archive:
+    """Load parameters saved by :func:`save_module` into ``module`` in place.
+
+    Accepts the same path that was passed to :func:`save_module`, with or
+    without the ``.npz`` suffix numpy appended.
+    """
+    path = Path(path)
+    if not path.is_file():
+        path = _archive_path(path)
+    with np.load(path) as archive:
         state = {key: archive[key] for key in archive.files}
     module.load_state_dict(state)
     return module

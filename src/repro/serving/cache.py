@@ -81,6 +81,17 @@ class CurveCache:
         self.invalidations += dropped
         return dropped
 
+    def __snapshot_restore__(self, state: dict) -> None:
+        """Re-establish the frozen-curve invariant after a snapshot restore.
+
+        Restored arrays come back as fresh writeable copies; every served
+        curve must be read-only (see :meth:`put`) or a caller mutating its
+        result would poison future hits.
+        """
+        self.__dict__.update(state)
+        for curve in self._entries.values():
+            curve.setflags(write=False)
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

@@ -255,6 +255,25 @@ class EstimationService:
         }
 
     # ------------------------------------------------------------------ #
+    # Snapshot hooks (repro.store)
+    # ------------------------------------------------------------------ #
+    def __snapshot_state__(self) -> Dict[str, Any]:
+        """Everything but the deferred-request queue is persistable.
+
+        Pending handles are live client promises — they cannot survive a
+        process boundary, and silently dropping them would strand callers
+        waiting on ``result()``.  Flush (or fail) them before saving.
+        """
+        if self.pending_count:
+            raise RuntimeError(
+                f"cannot snapshot an EstimationService with {self.pending_count} "
+                "pending deferred requests; call flush() first"
+            )
+        state = dict(self.__dict__)
+        state["_pending"] = {}
+        return state
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _curves_for(

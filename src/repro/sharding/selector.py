@@ -194,6 +194,33 @@ class ShardedSelector(SimilaritySelector):
         )
 
     # ------------------------------------------------------------------ #
+    # Snapshot hooks (repro.store)
+    # ------------------------------------------------------------------ #
+    def _rebuild_shard(self, records: Sequence) -> SimilaritySelector:
+        """Post-restore selector factory: clone the *current* shard 0's
+        configuration via its ``rebuild``.  A method (not a bound method of a
+        shard) so it never pins a replaced shard's index and dataset alive."""
+        return self._shards[0].rebuild(records)
+
+    def __snapshot_state__(self) -> Dict[str, Any]:
+        """Persist shards + assignment; drop the two unserializable members.
+
+        The thread pool is recreated lazily on first parallel fan-out, and
+        ``selector_factory`` is typically a caller closure — the restore hook
+        substitutes :meth:`_rebuild_shard`, which reconstructs a same-type,
+        same-configuration selector, so post-restore updates keep working.
+        """
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        state.pop("selector_factory", None)
+        return state
+
+    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._pool = None
+        self.selector_factory = self._rebuild_shard
+
+    # ------------------------------------------------------------------ #
     # Update routing (the per-shard §8 path)
     # ------------------------------------------------------------------ #
     def route_operation(self, operation: UpdateOperation) -> ShardRouting:

@@ -1,0 +1,335 @@
+"""The pinned on-disk snapshot format.
+
+A snapshot is a directory holding exactly two files:
+
+* ``arrays.bin`` — every numpy array of the captured object graph,
+  concatenated as raw **little-endian**, C-contiguous bytes;
+* ``manifest.json`` — the :class:`SnapshotManifest`: format name + version,
+  the encoded object graph, and one entry per array pinning its dtype
+  (explicit byte order), shape, byte offset/length, and SHA-256 checksum.
+
+Everything about the byte layout is explicit so a snapshot written on one
+machine restores bit-identically on any other: arrays are converted to
+little-endian before hashing and writing, and converted back to the native
+byte order (same values, same kind/itemsize) on read.  Any mismatch — wrong
+format name, unsupported version, payload or per-array checksum, truncated
+payload — raises a loud :class:`SnapshotFormatError`; there are no silent
+partial restores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+FORMAT_NAME = "repro-snapshot"
+FORMAT_VERSION = 1
+
+MANIFEST_FILENAME = "manifest.json"
+PAYLOAD_FILENAME = "arrays.bin"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot could not be captured (unserializable live state)."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """A snapshot on disk is unreadable: unknown format/version, checksum
+    mismatch, truncation, or a manifest that does not parse.  Raised loudly
+    instead of attempting any partial restore."""
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _little_endian(array: np.ndarray) -> np.ndarray:
+    """The array as C-contiguous little-endian bytes-compatible memory."""
+    # np.asarray(order="C") rather than ascontiguousarray: the latter
+    # silently promotes 0-d arrays to shape (1,).
+    array = np.asarray(array, order="C")
+    if array.dtype.hasobject:
+        raise SnapshotError(
+            "cannot snapshot an object-dtype array; snapshot state must be "
+            "numeric/bool/string arrays plus JSON-able metadata"
+        )
+    swapped = array.dtype.newbyteorder("<")
+    if array.dtype != swapped:
+        array = array.astype(swapped)
+    return array
+
+
+@dataclass
+class ArrayEntry:
+    """Manifest row pinning one array's exact bytes on disk."""
+
+    dtype: str  # explicit little-endian numpy dtype string, e.g. "<f8", "|u1"
+    shape: Tuple[int, ...]
+    offset: int
+    nbytes: int
+    sha256: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+            "sha256": self.sha256,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ArrayEntry":
+        try:
+            return cls(
+                dtype=str(data["dtype"]),
+                shape=tuple(int(s) for s in data["shape"]),
+                offset=int(data["offset"]),
+                nbytes=int(data["nbytes"]),
+                sha256=str(data["sha256"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotFormatError(f"malformed array entry: {data!r}") from error
+
+
+class ArrayWriter:
+    """Accumulates arrays into the ``arrays.bin`` payload, one entry each."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+        self._entries: List[ArrayEntry] = []
+        self._offset = 0
+
+    def add(self, array: np.ndarray) -> int:
+        """Append one array; returns its index in the manifest array table."""
+        normalized = _little_endian(array)
+        dtype_str = normalized.dtype.str
+        if dtype_str[0] not in "<|":
+            raise SnapshotError(f"non-little-endian dtype {dtype_str!r} after normalization")
+        data = normalized.tobytes(order="C")
+        entry = ArrayEntry(
+            dtype=dtype_str,
+            shape=tuple(int(s) for s in normalized.shape),
+            offset=self._offset,
+            nbytes=len(data),
+            sha256=_sha256(data),
+        )
+        self._chunks.append(data)
+        self._offset += len(data)
+        self._entries.append(entry)
+        return len(self._entries) - 1
+
+    @property
+    def entries(self) -> List[ArrayEntry]:
+        return self._entries
+
+    def payload(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class ArrayReader:
+    """Decodes arrays out of a verified payload, checking per-array checksums.
+
+    Decoded arrays are memoized by index so every reference to the same array
+    in the object graph restores to the *same* ndarray object (shared-state
+    identity survives the round trip).  Restored arrays are fresh, writeable,
+    native-byte-order copies with identical values.
+    """
+
+    def __init__(self, payload: bytes, entries: Sequence[ArrayEntry]) -> None:
+        self._payload = payload
+        self._entries = list(entries)
+        self._memo: Dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, index: int) -> np.ndarray:
+        if index in self._memo:
+            return self._memo[index]
+        try:
+            entry = self._entries[index]
+        except IndexError as error:
+            raise SnapshotFormatError(f"array index {index} out of range") from error
+        data = self._payload[entry.offset : entry.offset + entry.nbytes]
+        if len(data) != entry.nbytes:
+            raise SnapshotFormatError(
+                f"array {index} is truncated: expected {entry.nbytes} bytes at "
+                f"offset {entry.offset}, payload holds {len(data)}"
+            )
+        if _sha256(data) != entry.sha256:
+            raise SnapshotFormatError(f"array {index} failed its SHA-256 checksum")
+        dtype = np.dtype(entry.dtype)
+        expected = dtype.itemsize * int(np.prod(entry.shape, dtype=np.int64))
+        if expected != entry.nbytes:
+            raise SnapshotFormatError(
+                f"array {index}: dtype {entry.dtype} x shape {entry.shape} "
+                f"needs {expected} bytes but entry records {entry.nbytes}"
+            )
+        flat = np.frombuffer(data, dtype=dtype)
+        array = flat.reshape(entry.shape).astype(dtype.newbyteorder("="), copy=True)
+        self._memo[index] = array
+        return array
+
+
+@dataclass
+class SnapshotManifest:
+    """Parsed ``manifest.json``: format header + object graph + array table."""
+
+    version: int
+    kind: str
+    root: Any  # encoded value (see repro.store.codecs)
+    objects: List[Dict[str, Any]]
+    arrays: List[ArrayEntry]
+    payload_sha256: str
+    payload_bytes: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: Name of the payload file inside the snapshot directory.  Content-named
+    #: (``arrays-<sha12>.bin``) so re-saving over an existing snapshot never
+    #: overwrites the payload the committed manifest still points at.
+    payload_file: str = PAYLOAD_FILENAME
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "format": FORMAT_NAME,
+            "version": self.version,
+            "kind": self.kind,
+            "payload": self.payload_file,
+            "payload_sha256": self.payload_sha256,
+            "payload_bytes": self.payload_bytes,
+            "meta": self.meta,
+            "root": self.root,
+            "objects": self.objects,
+            "arrays": [entry.to_json() for entry in self.arrays],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "SnapshotManifest":
+        if not isinstance(data, dict):
+            raise SnapshotFormatError("manifest is not a JSON object")
+        if data.get("format") != FORMAT_NAME:
+            raise SnapshotFormatError(
+                f"not a {FORMAT_NAME} manifest (format={data.get('format')!r})"
+            )
+        version = data.get("version")
+        if version != FORMAT_VERSION:
+            raise SnapshotFormatError(
+                f"unsupported snapshot format version {version!r}; this build "
+                f"reads version {FORMAT_VERSION}"
+            )
+        payload_file = str(data.get("payload", PAYLOAD_FILENAME))
+        if "/" in payload_file or "\\" in payload_file or payload_file in ("", ".", ".."):
+            raise SnapshotFormatError(
+                f"manifest names an unsafe payload file {payload_file!r}"
+            )
+        try:
+            return cls(
+                version=int(version),
+                kind=str(data["kind"]),
+                root=data["root"],
+                objects=list(data["objects"]),
+                arrays=[ArrayEntry.from_json(entry) for entry in data["arrays"]],
+                payload_sha256=str(data["payload_sha256"]),
+                payload_bytes=int(data["payload_bytes"]),
+                meta=dict(data.get("meta", {})),
+                payload_file=payload_file,
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotFormatError(f"malformed manifest: {error}") from error
+
+
+def write_snapshot(path: PathLike, manifest: SnapshotManifest, payload: bytes) -> Path:
+    """Write the payload + ``manifest.json`` atomically into directory ``path``.
+
+    The manifest is serialized *before* anything touches the disk (a
+    manifest that cannot serialize must not leave stray files).  The payload
+    is content-named (``arrays-<sha12>.bin``), so re-saving over an existing
+    snapshot directory never overwrites the payload the committed manifest
+    references; the ``manifest.json`` replace is the single commit point — a
+    crash at any instant leaves either the old snapshot or the new one, never
+    a directory whose manifest and payload disagree.  Superseded payloads are
+    cleaned up only after the commit.
+    """
+    manifest.payload_sha256 = _sha256(payload)
+    manifest.payload_bytes = len(payload)
+    manifest.payload_file = f"arrays-{manifest.payload_sha256[:12]}.bin"
+    manifest_text = json.dumps(manifest.to_json())
+
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload_path = directory / manifest.payload_file
+    manifest_path = directory / MANIFEST_FILENAME
+    payload_tmp = directory / (manifest.payload_file + ".tmp")
+    manifest_tmp = directory / (MANIFEST_FILENAME + ".tmp")
+    payload_tmp.write_bytes(payload)
+    manifest_tmp.write_text(manifest_text, encoding="utf-8")
+    os.replace(payload_tmp, payload_path)
+    os.replace(manifest_tmp, manifest_path)  # the commit point
+    for stale in directory.glob("arrays*"):
+        if stale.name not in (manifest.payload_file, MANIFEST_FILENAME):
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+    return directory
+
+
+def read_manifest(path: PathLike) -> SnapshotManifest:
+    """Read and validate a snapshot's manifest WITHOUT reading the payload.
+
+    The payload file's existence and size are checked against the manifest
+    (by ``stat``, not by reading it) — the cheap probe behind
+    :func:`repro.store.inspect_snapshot`.
+    """
+    directory = Path(path)
+    manifest_path = directory / MANIFEST_FILENAME
+    if not manifest_path.is_file():
+        raise SnapshotFormatError(f"no snapshot at {directory} (missing {MANIFEST_FILENAME})")
+    try:
+        manifest_data = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise SnapshotFormatError(f"unreadable manifest at {manifest_path}: {error}") from error
+    manifest = SnapshotManifest.from_json(manifest_data)
+    payload_path = directory / manifest.payload_file
+    if not payload_path.is_file():
+        raise SnapshotFormatError(
+            f"snapshot at {directory} is missing its payload {manifest.payload_file}"
+        )
+    payload_size = payload_path.stat().st_size
+    if payload_size != manifest.payload_bytes:
+        raise SnapshotFormatError(
+            f"payload is {payload_size} bytes but the manifest records "
+            f"{manifest.payload_bytes}; refusing a partial restore"
+        )
+    return manifest
+
+
+def read_snapshot(path: PathLike, verify_payload: bool = True) -> Tuple[SnapshotManifest, bytes]:
+    """Read and verify a snapshot directory; returns (manifest, payload)."""
+    manifest = read_manifest(path)
+    try:
+        payload = (Path(path) / manifest.payload_file).read_bytes()
+    except OSError as error:
+        # A concurrent re-save can commit a new manifest and clean up the old
+        # payload between our manifest read and this one — surface the typed
+        # error (callers can simply retry and get the new snapshot).
+        raise SnapshotFormatError(
+            f"payload {manifest.payload_file} vanished while reading the "
+            f"snapshot at {path} (concurrent re-save?); retry the load"
+        ) from error
+    if len(payload) != manifest.payload_bytes:
+        raise SnapshotFormatError(
+            f"payload is {len(payload)} bytes but the manifest records "
+            f"{manifest.payload_bytes}; refusing a partial restore"
+        )
+    if verify_payload and _sha256(payload) != manifest.payload_sha256:
+        raise SnapshotFormatError("payload failed its SHA-256 checksum")
+    return manifest, payload

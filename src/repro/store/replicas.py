@@ -1,0 +1,213 @@
+"""Read replicas spawned from one engine snapshot.
+
+A :class:`ReplicaSet` restores N independent engines from a single snapshot
+directory and routes queries across them.  Because each replica is a full,
+isolated restore (own indexes, own serving service, own curve cache, own
+feedback windows), replicas never contend on shared state — the unit of
+horizontal *read* scale-out, composing with the sharding layer: snapshot an
+engine whose attributes are sharded and every replica restores the full
+shard fan-out, a shard × replica topology.
+
+Routing is deterministic under a seed: ``round_robin`` strides a cursor,
+``least_loaded`` picks the replica with the fewest routed queries (ties to
+the lowest index), ``random`` draws from a seeded generator — two replica
+sets built with the same snapshot, policy, and seed route identically.
+
+Replicas are **read-only** by design: updates go to the primary engine, which
+is snapshotted and respawned (or rolled, one replica at a time).  The routing
+layer exports per-replica query counts through the same
+:class:`~repro.serving.ServingTelemetry` machinery the serving layer uses, so
+load balance is inspectable exactly like endpoint traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..serving import ServingTelemetry
+from .format import PathLike
+from .snapshot import load_engine_replicas
+
+ROUTING_POLICIES = ("round_robin", "least_loaded", "random")
+
+
+class ReplicaSet:
+    """Routes queries across engines restored from one snapshot."""
+
+    def __init__(
+        self,
+        replicas: Sequence[Any],
+        routing: str = "round_robin",
+        seed: int = 0,
+    ) -> None:
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("a replica set needs at least one replica")
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {routing!r}; choose from {ROUTING_POLICIES}"
+            )
+        self.replicas = replicas
+        self.routing = routing
+        self.seed = int(seed)
+        self.telemetry = ServingTelemetry()
+        self._counts = [0] * len(replicas)
+        self._cursor = 0
+        self._rng = np.random.default_rng(self.seed)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: PathLike,
+        num_replicas: int,
+        routing: str = "round_robin",
+        seed: int = 0,
+    ) -> "ReplicaSet":
+        """Spawn ``num_replicas`` independent engines from one snapshot.
+
+        The snapshot is read and checksum-verified once; each replica decodes
+        its own object graph from the shared bytes (no objects shared).
+        """
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        return cls(
+            load_engine_replicas(path, num_replicas),
+            routing=routing,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def _pick(self) -> int:
+        """Choose a replica for one query and account for it immediately, so
+        ``least_loaded`` balances within a batch, not only across batches."""
+        if self.routing == "round_robin":
+            index = self._cursor
+            self._cursor = (self._cursor + 1) % len(self.replicas)
+        elif self.routing == "least_loaded":
+            index = int(np.argmin(self._counts))  # argmin ties → lowest index
+        else:  # random, seeded
+            index = int(self._rng.integers(0, len(self.replicas)))
+        self._counts[index] += 1
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    def explain(self, query: Any):
+        """Plan on replica 0 without counting it as load — restored replicas
+        are identical, so every replica plans every query the same way."""
+        return self.replicas[0].explain(query)
+
+    def execute(self, query: Any):
+        """Route one query to one replica."""
+        return self.execute_many([query])[0]
+
+    def execute_many(self, queries: Sequence[Any]) -> List[Any]:
+        """Route a workload: pick per query, then execute each replica's share
+        as ONE batched call (planning stays micro-batched per replica),
+        fanning the per-replica batches out on a thread pool.
+
+        Replicas share no state (each is a fully independent restore), so
+        concurrent execution is safe; like the sharded selector's fan-out,
+        the parallelism pays off because the replica kernels are numpy
+        scans/reductions that release the GIL."""
+        queries = list(queries)
+        picks = [self._pick() for _ in queries]
+        results: List[Any] = [None] * len(queries)
+        shares = [
+            (index, [i for i, pick in enumerate(picks) if pick == index])
+            for index in sorted(set(picks))
+        ]
+
+        def run(share: "Tuple[int, List[int]]"):
+            index, positions = share
+            start = time.perf_counter()
+            try:
+                answered = self.replicas[index].execute_many(
+                    [queries[i] for i in positions]
+                )
+            except Exception as error:  # re-raised on the caller's thread
+                return index, positions, error, time.perf_counter() - start
+            return index, positions, answered, time.perf_counter() - start
+
+        if len(shares) <= 1:
+            outcomes = [run(share) for share in shares]
+        else:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=len(self.replicas), thread_name_prefix="repro-replica"
+                )
+            outcomes = [
+                future.result()
+                for future in [self._pool.submit(run, share) for share in shares]
+            ]
+        # Telemetry is recorded on the caller's thread only — ServingTelemetry
+        # counters are plain ints, not synchronized.  A failing share fails
+        # the batch, but only AFTER every share finished: successful shares
+        # keep their telemetry, the failed share's queries are rolled out of
+        # the load counts (that work never happened — leaving it in would
+        # skew least_loaded routing and diverge query_counts from telemetry
+        # forever), and the first error is re-raised.
+        first_error: "Exception | None" = None
+        for index, positions, answered, elapsed in outcomes:
+            if isinstance(answered, Exception):
+                self._counts[index] -= len(positions)
+                if first_error is None:
+                    first_error = answered
+                continue
+            name = self.replica_name(index)
+            self.telemetry.record_requests(name, len(positions), 0, 0)
+            self.telemetry.record_batch(name, len(positions))
+            self.telemetry.record_latency(name, elapsed)
+            for position, result in zip(positions, answered):
+                results[position] = result
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def __snapshot_state__(self) -> Dict[str, Any]:
+        """A replica set is itself snapshottable — minus the live thread pool
+        (recreated lazily on the next batched execute)."""
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Writes are refused
+    # ------------------------------------------------------------------ #
+    def apply_update(self, *args: Any, **kwargs: Any) -> None:
+        raise RuntimeError(
+            "a ReplicaSet is read-only: apply updates to the primary engine, "
+            "save a fresh snapshot, and respawn the replicas from it"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def replica_name(index: int) -> str:
+        """Telemetry endpoint name of replica ``index``."""
+        return f"replica{index}"
+
+    def query_counts(self) -> List[int]:
+        """Queries routed to each replica so far (the load-balance view)."""
+        return list(self._counts)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "routing": self.routing,
+            "seed": self.seed,
+            "replicas": len(self.replicas),
+            "query_counts": self.query_counts(),
+            "telemetry": self.telemetry.snapshot(),
+        }

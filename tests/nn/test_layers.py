@@ -248,3 +248,23 @@ class TestSerialization:
         small = nn.mlp([3, 4, 1], rng=np.random.default_rng(0))
         big = nn.mlp([3, 64, 64, 1], rng=np.random.default_rng(0))
         assert 0 < nn.serialized_size(small) < nn.serialized_size(big)
+
+    def test_save_without_npz_suffix_reports_true_archive_size(self, tmp_path):
+        # Regression: np.savez appends ".npz" to suffix-less paths, so the
+        # old implementation statted a non-existent file and raised.
+        model = nn.mlp([3, 5, 1], rng=np.random.default_rng(0))
+        path = tmp_path / "weights"  # no suffix
+        size = nn.save_module(model, path)
+        archive = tmp_path / "weights.npz"
+        assert archive.is_file()
+        assert size == archive.stat().st_size
+        assert not path.exists()
+
+    def test_load_accepts_the_path_given_to_save(self, tmp_path):
+        model = nn.mlp([3, 5, 1], rng=np.random.default_rng(0))
+        path = tmp_path / "weights"  # no suffix, numpy writes weights.npz
+        nn.save_module(model, path)
+        clone = nn.mlp([3, 5, 1], rng=np.random.default_rng(42))
+        nn.load_module(clone, path)  # same suffix-less path round-trips
+        x = np.ones((2, 3))
+        assert np.allclose(model(Tensor(x)).data, clone(Tensor(x)).data)

@@ -1,0 +1,320 @@
+"""Restore equivalence: a loaded engine behaves bit-identically to the saved one.
+
+Covers every acceptance property of the snapshot subsystem: identical
+``estimate_batch``/curve answers, identical :class:`QueryPlan`s and
+:class:`QueryResult`s on all four distances (cold and warm cache alike),
+GPH per-part allocations, sharded deployments (including post-restore
+updates), manager identity re-wiring, and the drift/retrain loop resuming
+exactly where the original left off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampling import UniformSamplingEstimator
+from repro.core import CardNetEstimator
+from repro.core.incremental import IncrementalUpdateManager
+from repro.datasets.updates import UpdateOperation
+from repro.engine import ConjunctiveQuery, SimilarityPredicate, SimilarityQueryEngine
+from repro.selection import PackedHammingSelector
+from repro.store import inspect_snapshot, load_engine, save_engine
+
+
+DISTANCES = ["hamming", "edit", "jaccard", "euclidean"]
+
+
+def _sampling(records, distance_name):
+    return UniformSamplingEstimator(records, distance_name, sample_ratio=0.4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    from repro.datasets import (
+        make_binary_dataset,
+        make_set_dataset,
+        make_string_dataset,
+        make_vector_dataset,
+    )
+
+    n = 220
+    return {
+        "hamming": make_binary_dataset(
+            num_records=n, dimension=32, num_clusters=4, flip_probability=0.1,
+            theta_max=12, seed=7, name="HM-Store",
+        ),
+        "edit": make_string_dataset(
+            num_records=n, num_clusters=4, base_length=10, max_mutations=5,
+            theta_max=6, seed=7, name="ED-Store",
+        ),
+        "jaccard": make_set_dataset(
+            num_records=n, universe_size=60, num_clusters=4, base_set_size=12,
+            theta_max=0.8, seed=7, name="JC-Store",
+        ),
+        "euclidean": make_vector_dataset(
+            num_records=n, dimension=8, num_clusters=4, theta_max=4.0,
+            seed=7, name="EU-Store",
+        ),
+    }
+
+
+def _build_engine(datasets):
+    engine = SimilarityQueryEngine()
+    for distance_name in DISTANCES:
+        dataset = datasets[distance_name]
+        engine.register_attribute(
+            distance_name,
+            dataset.records,
+            distance_name,
+            _sampling(dataset.records, distance_name),
+            theta_max=dataset.theta_max,
+        )
+    return engine
+
+
+def _queries(datasets):
+    thetas = {"hamming": 5.0, "edit": 3.0, "jaccard": 0.4, "euclidean": 1.5}
+    queries = [
+        SimilarityPredicate(name, datasets[name].records[index], thetas[name])
+        for name in DISTANCES
+        for index in (2, 9, 31)
+    ]
+    queries.append(
+        ConjunctiveQuery(
+            [
+                SimilarityPredicate("hamming", datasets["hamming"].records[5], 6.0),
+                SimilarityPredicate("edit", datasets["edit"].records[5], 4.0),
+            ]
+        )
+    )
+    return queries
+
+
+def assert_plans_equal(plan_a, plan_b):
+    assert plan_a.driver.attribute == plan_b.driver.attribute
+    assert plan_a.driver.theta == plan_b.driver.theta
+    assert plan_a.driver.estimated_cardinality == plan_b.driver.estimated_cardinality
+    assert plan_a.allocation == plan_b.allocation
+    assert plan_a.driver_shards == plan_b.driver_shards
+    assert [p.attribute for p in plan_a.residuals] == [p.attribute for p in plan_b.residuals]
+    assert [p.estimated_cardinality for p in plan_a.residuals] == [
+        p.estimated_cardinality for p in plan_b.residuals
+    ]
+
+
+def assert_results_equal(result_a, result_b):
+    assert result_a.record_ids == result_b.record_ids
+    assert result_a.driver_actual == result_b.driver_actual
+    assert result_a.driver_candidates == result_b.driver_candidates
+    assert result_a.verification_examined == result_b.verification_examined
+    assert result_a.shard_counts == result_b.shard_counts
+    assert_plans_equal(result_a.plan, result_b.plan)
+
+
+class TestFourDistanceEquivalence:
+    @pytest.mark.parametrize("warm", [False, True], ids=["cold-cache", "warm-cache"])
+    def test_estimates_plans_results_bit_identical(self, datasets, tmp_path, warm):
+        engine = _build_engine(datasets)
+        queries = _queries(datasets)
+        if warm:
+            engine.execute_many(queries)  # populate curves, windows, telemetry
+            assert len(engine.service.cache) > 0
+        save_engine(engine, tmp_path / "snap")
+        restored = load_engine(tmp_path / "snap")
+
+        assert len(restored.service.cache) == len(engine.service.cache)
+
+        for name in DISTANCES:
+            records = [datasets[name].records[i] for i in range(0, 40, 3)]
+            grid = restored.service.registry.get(name).curve_thetas
+            thetas = np.linspace(float(grid[0]), float(grid[-1]), len(records))
+            np.testing.assert_array_equal(
+                engine.service.estimate_many(name, records, thetas),
+                restored.service.estimate_many(name, records, thetas),
+            )
+            np.testing.assert_array_equal(
+                engine.service.estimate_curve_many(name, records),
+                restored.service.estimate_curve_many(name, records),
+            )
+
+        for query in _queries(datasets):
+            assert_plans_equal(engine.explain(query), restored.explain(query))
+        for original, loaded in zip(
+            engine.execute_many(queries), restored.execute_many(queries)
+        ):
+            assert_results_equal(original, loaded)
+
+    def test_warm_restore_serves_from_cache(self, datasets, tmp_path):
+        engine = _build_engine(datasets)
+        records = [datasets["hamming"].records[i] for i in range(16)]
+        engine.service.estimate_curve_many("hamming", records)
+        save_engine(engine, tmp_path / "snap")
+        restored = load_engine(tmp_path / "snap")
+
+        before = restored.service.telemetry.endpoint("hamming").cache_hits
+        restored.service.estimate_curve_many("hamming", records)
+        stats = restored.service.telemetry.endpoint("hamming")
+        # Every request hit the restored warm cache — no model call happened.
+        assert stats.cache_hits == before + len(records)
+        assert stats.batches == engine.service.telemetry.endpoint("hamming").batches
+
+    def test_restored_cached_curves_stay_frozen(self, datasets, tmp_path):
+        engine = _build_engine(datasets)
+        engine.service.estimate_curve("hamming", datasets["hamming"].records[0])
+        save_engine(engine, tmp_path / "snap")
+        restored = load_engine(tmp_path / "snap")
+        (curve,) = list(restored.service.cache._entries.values())
+        with pytest.raises(ValueError):
+            curve[0] = 1e9
+
+
+class TestGPHAndSharded:
+    def test_gph_attribute_round_trips(self, datasets, tmp_path):
+        dataset = datasets["hamming"]
+        engine = SimilarityQueryEngine()
+        engine.register_attribute(
+            "hm",
+            dataset.records,
+            "hamming",
+            _sampling(dataset.records, "hamming"),
+            theta_max=dataset.theta_max,
+            gph_part_size=8,
+        )
+        query = SimilarityPredicate("hm", dataset.records[4], 6.0)
+        original = engine.execute(query)
+        assert original.plan.allocation is not None
+        save_engine(engine, tmp_path / "snap")
+        restored = load_engine(tmp_path / "snap")
+        binding = restored.catalog.get("hm")
+        assert binding.part_endpoints  # per-part endpoints restored
+        assert_results_equal(original, restored.execute(query))
+
+    def test_sharded_attribute_round_trips_and_updates(self, datasets, tmp_path):
+        dataset = datasets["hamming"]
+        engine = SimilarityQueryEngine()
+        engine.register_sharded_attribute(
+            "vec",
+            dataset.records,
+            "hamming",
+            lambda records, shard: UniformSamplingEstimator(
+                records, "hamming", sample_ratio=0.5, seed=shard
+            ),
+            num_shards=3,
+            theta_max=dataset.theta_max,
+        )
+        query = SimilarityPredicate("vec", dataset.records[11], 6.0)
+        original = engine.execute(query)
+        save_engine(engine, tmp_path / "snap")
+        restored = load_engine(tmp_path / "snap")
+
+        loaded = restored.execute(query)
+        assert_results_equal(original, loaded)
+        assert loaded.shard_counts is not None and sum(loaded.shard_counts) == loaded.driver_actual
+
+        # The restored group's merged endpoint still sums per-shard curves.
+        group = restored.shard_group("vec")
+        assert group.service is restored.service
+        assert group.shard_endpoints == engine.shard_group("vec").shard_endpoints
+
+        # Post-restore updates work: the restored selector factory clones the
+        # CURRENT shard 0's configuration (bound to the sharded selector, not
+        # to a shard instance, so replaced shards are never pinned alive).
+        sharded = restored.catalog.get("vec").selector
+        assert sharded.selector_factory.__self__ is sharded
+        report = restored.apply_update("vec", UpdateOperation("insert", [dataset.records[0]]))
+        assert len(report.touched_shards) == 1
+        both = engine.apply_update("vec", UpdateOperation("insert", [dataset.records[0]]))
+        assert report.touched_shards == both.touched_shards
+        assert_results_equal(engine.execute(query), restored.execute(query))
+
+
+class TestManagerAndFeedbackResume:
+    def _engine_with_manager(self, dataset, workload, estimator):
+        engine = SimilarityQueryEngine(
+            drift_threshold=1.5, feedback_window=8, min_feedback_observations=4
+        )
+        engine.register_attribute(
+            "vec", dataset.records, "hamming", estimator, theta_max=dataset.theta_max
+        )
+        manager = IncrementalUpdateManager(
+            estimator,
+            PackedHammingSelector(dataset.records),
+            workload.train,
+            workload.validation,
+            max_epochs_per_update=1,
+        )
+        engine.attach_manager("vec", manager)
+        return engine
+
+    def test_manager_identity_and_drift_resume(
+        self, binary_dataset, binary_workload, tmp_path
+    ):
+        estimator = CardNetEstimator.for_dataset(
+            binary_dataset, accelerated=True, epochs=2, vae_pretrain_epochs=1, seed=0
+        )
+        estimator.fit(binary_workload.train, binary_workload.validation)
+        engine = self._engine_with_manager(binary_dataset, binary_workload, estimator)
+        queries = [
+            SimilarityPredicate("vec", binary_dataset.records[i], 5.0) for i in range(6)
+        ]
+        engine.execute_many(queries)
+        save_engine(engine, tmp_path / "snap")
+        restored = load_engine(tmp_path / "snap")
+
+        # The restored manager serves the SAME estimator object the endpoint
+        # serves, on the engine's own service — a retrain reaches serving.
+        link = restored._links["vec"]
+        assert link.manager.estimator is restored.service.registry.get("vec").estimator
+        assert link.manager.service is restored.service
+        assert restored.feedback._managers["vec"] is link
+        assert (
+            link.manager._baseline_validation_error
+            == engine._links["vec"].manager._baseline_validation_error
+        )
+
+        # Optimizer moments survive, so incremental retraining resumes from
+        # exactly the saved trajectory.
+        original_opt = estimator.trainer._optimizer
+        restored_opt = link.manager.estimator.trainer._optimizer
+        assert restored_opt._step_count == original_opt._step_count
+        for m_a, m_b in zip(original_opt._m, restored_opt._m):
+            np.testing.assert_array_equal(m_a, m_b)
+
+        # Same post-restore observations → drift fires identically on both
+        # (the sliding windows were restored mid-flight).
+        for engine_side in (engine, restored):
+            event = None
+            while event is None:
+                event = engine_side.feedback.observe("vec", 1.0, 1000.0)
+        original_event = engine.feedback.events[-1]
+        restored_event = restored.feedback.events[-1]
+        assert original_event.window_q_error == restored_event.window_q_error
+        assert original_event.observations == restored_event.observations
+        assert (original_event.revalidation is None) == (restored_event.revalidation is None)
+
+    def test_pending_deferred_requests_block_save(self, datasets, tmp_path):
+        engine = _build_engine(datasets)
+        engine.service.submit("hamming", datasets["hamming"].records[0], 3.0)
+        with pytest.raises(RuntimeError, match="pending deferred"):
+            save_engine(engine, tmp_path / "snap")
+        engine.service.flush()
+        save_engine(engine, tmp_path / "snap")  # flushes cleanly now
+
+
+class TestInventory:
+    def test_manifest_meta_inventories_the_engine(self, datasets, tmp_path):
+        engine = _build_engine(datasets)
+        engine.execute_many(_queries(datasets))
+        info = save_engine(engine, tmp_path / "snap")
+        assert info.kind == "engine"
+        assert info.meta["attributes"] == DISTANCES_SORTED
+        assert set(info.meta["endpoints"]) == set(DISTANCES)
+        assert info.meta["cached_curves"] == len(engine.service.cache)
+        probe = inspect_snapshot(tmp_path / "snap")
+        assert probe.kind == "engine"
+        assert probe.num_arrays == info.num_arrays
+        assert probe.meta == info.meta
+
+
+DISTANCES_SORTED = sorted(DISTANCES)

@@ -1,0 +1,174 @@
+"""ReplicaSet: snapshot-spawned read replicas with deterministic routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampling import UniformSamplingEstimator
+from repro.engine import SimilarityPredicate, SimilarityQueryEngine
+from repro.store import ReplicaSet, save_engine
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    from repro.datasets import make_binary_dataset
+
+    dataset = make_binary_dataset(
+        num_records=200, dimension=32, num_clusters=4, flip_probability=0.1,
+        theta_max=12, seed=9, name="HM-Replica",
+    )
+    engine = SimilarityQueryEngine()
+    engine.register_attribute(
+        "vec",
+        dataset.records,
+        "hamming",
+        UniformSamplingEstimator(dataset.records, "hamming", sample_ratio=0.4, seed=2),
+        theta_max=dataset.theta_max,
+    )
+    path = tmp_path_factory.mktemp("replicas") / "snap"
+    save_engine(engine, path)
+    return path, dataset, engine
+
+
+def _queries(dataset, count=12):
+    return [
+        SimilarityPredicate("vec", dataset.records[i % len(dataset.records)], 5.0)
+        for i in range(count)
+    ]
+
+
+class TestSpawning:
+    def test_replicas_are_independent_engines(self, snapshot_path):
+        path, dataset, _ = snapshot_path
+        replicas = ReplicaSet.from_snapshot(path, 3)
+        assert len(replicas) == 3
+        services = {id(replica.service) for replica in replicas.replicas}
+        assert len(services) == 3  # no shared serving state between replicas
+        # Warming one replica's cache leaves the others cold.
+        replicas.replicas[0].service.estimate_curve("vec", dataset.records[0])
+        assert len(replicas.replicas[0].service.cache) == 1
+        assert len(replicas.replicas[1].service.cache) == 0
+
+    def test_replica_answers_match_primary(self, snapshot_path):
+        path, dataset, primary = snapshot_path
+        replicas = ReplicaSet.from_snapshot(path, 2)
+        for query in _queries(dataset, 4):
+            expected = primary.explain(query)
+            for replica in replicas.replicas:
+                result = replica.execute(query)
+                assert result.plan.driver.estimated_cardinality == expected.driver.estimated_cardinality
+        answered = replicas.execute_many(_queries(dataset, 6))
+        assert [len(result) for result in answered] == [
+            len(primary.execute(query)) for query in _queries(dataset, 6)
+        ]
+
+    def test_bad_arguments(self, snapshot_path):
+        path, _, _ = snapshot_path
+        with pytest.raises(ValueError, match="num_replicas"):
+            ReplicaSet.from_snapshot(path, 0)
+        with pytest.raises(ValueError, match="routing"):
+            ReplicaSet.from_snapshot(path, 1, routing="chaotic")
+
+
+class TestRouting:
+    def test_round_robin_is_balanced_and_deterministic(self, snapshot_path):
+        path, dataset, _ = snapshot_path
+        replicas = ReplicaSet.from_snapshot(path, 3, routing="round_robin")
+        replicas.execute_many(_queries(dataset, 12))
+        assert replicas.query_counts() == [4, 4, 4]
+
+    def test_least_loaded_balances(self, snapshot_path):
+        path, dataset, _ = snapshot_path
+        replicas = ReplicaSet.from_snapshot(path, 3, routing="least_loaded")
+        replicas.execute_many(_queries(dataset, 10))
+        counts = replicas.query_counts()
+        assert sum(counts) == 10 and max(counts) - min(counts) <= 1
+
+    def test_random_routing_is_deterministic_under_seed(self, snapshot_path):
+        path, _, _ = snapshot_path
+        first = ReplicaSet.from_snapshot(path, 4, routing="random", seed=77)
+        second = ReplicaSet.from_snapshot(path, 4, routing="random", seed=77)
+        other = ReplicaSet.from_snapshot(path, 4, routing="random", seed=78)
+        picks_a = [first._pick() for _ in range(32)]
+        picks_b = [second._pick() for _ in range(32)]
+        picks_c = [other._pick() for _ in range(32)]
+        assert picks_a == picks_b
+        assert picks_a != picks_c  # different seed, different stream
+
+    def test_explain_does_not_skew_load(self, snapshot_path):
+        path, dataset, _ = snapshot_path
+        replicas = ReplicaSet.from_snapshot(path, 2)
+        replicas.explain(_queries(dataset, 1)[0])
+        assert replicas.query_counts() == [0, 0]
+
+
+class TestTelemetryAndWrites:
+    def test_per_replica_counts_flow_through_serving_telemetry(self, snapshot_path):
+        path, dataset, _ = snapshot_path
+        replicas = ReplicaSet.from_snapshot(path, 3, routing="round_robin")
+        replicas.execute_many(_queries(dataset, 9))
+        snapshot = replicas.telemetry.snapshot()
+        for index in range(3):
+            name = ReplicaSet.replica_name(index)
+            assert snapshot[name]["requests"] == 3
+            assert snapshot[name]["latency_seconds"] > 0.0
+        assert snapshot["total"]["requests"] == 9
+        stats = replicas.stats()
+        assert stats["query_counts"] == [3, 3, 3]
+        assert stats["routing"] == "round_robin"
+
+    def test_replica_set_is_read_only(self, snapshot_path):
+        path, _, _ = snapshot_path
+        replicas = ReplicaSet.from_snapshot(path, 1)
+        with pytest.raises(RuntimeError, match="read-only"):
+            replicas.apply_update("vec", None)
+
+    def test_failed_share_rolls_back_counts_and_keeps_other_telemetry(self, snapshot_path):
+        path, dataset, _ = snapshot_path
+        replicas = ReplicaSet.from_snapshot(path, 2, routing="round_robin")
+        good = _queries(dataset, 3)
+        bad = SimilarityPredicate("no_such_attribute", dataset.records[0], 1.0)
+        # round_robin: queries 0/2 → replica 0 (good), queries 1/3 → replica 1
+        # (one good, one bad) — replica 1's whole share fails.
+        with pytest.raises(KeyError, match="no_such_attribute"):
+            replicas.execute_many([good[0], good[1], good[2], bad])
+        # The failed share's 2 queries are rolled out of the load counts, so
+        # counts and telemetry agree: only replica 0's work happened.
+        assert replicas.query_counts() == [2, 0]
+        snapshot = replicas.telemetry.snapshot()
+        assert snapshot["replica0"]["requests"] == 2
+        assert "replica1" not in snapshot
+
+
+class TestShardReplicaComposition:
+    def test_shard_times_replica_topology(self, tmp_path):
+        from repro.datasets import make_binary_dataset
+
+        dataset = make_binary_dataset(
+            num_records=240, dimension=32, num_clusters=4, flip_probability=0.1,
+            theta_max=12, seed=11, name="HM-ShardReplica",
+        )
+        engine = SimilarityQueryEngine()
+        engine.register_sharded_attribute(
+            "vec",
+            dataset.records,
+            "hamming",
+            lambda records, shard: UniformSamplingEstimator(
+                records, "hamming", sample_ratio=0.5, seed=shard
+            ),
+            num_shards=4,
+            theta_max=dataset.theta_max,
+        )
+        query = SimilarityPredicate("vec", dataset.records[7], 6.0)
+        expected = engine.execute(query)
+        save_engine(engine, tmp_path / "snap")
+
+        replicas = ReplicaSet.from_snapshot(tmp_path / "snap", 2)
+        for replica in replicas.replicas:
+            result = replica.execute(query)
+            assert result.record_ids == expected.record_ids
+            assert result.shard_counts == expected.shard_counts  # full fan-out
+        routed = replicas.execute_many([query] * 4)
+        assert all(r.record_ids == expected.record_ids for r in routed)
+        assert replicas.query_counts() == [2, 2]
