@@ -14,12 +14,16 @@ Public API highlights
   and per-shard serving endpoints merged by curve summation.
 * :mod:`repro.store` — versioned engine snapshots, warm-start restore, and
   snapshot-spawned read replicas.
+* :mod:`repro.runtime` — the shared concurrent execution layer: named worker
+  pools with explicit backpressure, request coalescing, one runtime under
+  serving, sharding, replicas, and the engine.
 """
 
 from .core import CardinalityEstimator, CardNet, CardNetConfig, CardNetEstimator
 from .datasets import DEFAULT_DATASETS, load_dataset
 from .engine import ConjunctiveQuery, SimilarityPredicate, SimilarityQueryEngine
 from .metrics import AccuracyReport, mape, mean_q_error, mse
+from .runtime import BatchCoalescer, Runtime, WorkerPool, default_runtime
 from .serving import CurveCache, EstimationService, EstimatorRegistry
 from .sharding import ShardedEstimatorGroup, ShardedSelector
 from .store import ReplicaSet, load_engine, save_engine
@@ -41,6 +45,10 @@ __all__ = [
     "ShardedSelector",
     "ShardedEstimatorGroup",
     "ReplicaSet",
+    "Runtime",
+    "WorkerPool",
+    "BatchCoalescer",
+    "default_runtime",
     "save_engine",
     "load_engine",
     "load_dataset",

@@ -31,6 +31,7 @@ from ..core.incremental import (
 )
 from ..core.interface import CardinalityEstimator
 from ..datasets.updates import UpdateOperation, apply_operation
+from ..runtime import Runtime
 from ..selection import PigeonholeHammingSelector, SimilaritySelector, default_selector
 from ..serving import EstimationService
 from ..sharding import Partitioner, ShardedEstimatorGroup, ShardedSelector
@@ -142,14 +143,28 @@ class _ShardedManagerLink:
 class SimilarityQueryEngine:
     """End-to-end engine over one table of similarity-queryable attributes."""
 
+    #: Runtime pool the pipelined ``execute_many`` runs verification on.
+    EXECUTE_POOL = "engine-execute"
+
     def __init__(
         self,
         service: Optional[EstimationService] = None,
         drift_threshold: float = 4.0,
         feedback_window: int = 32,
         min_feedback_observations: int = 8,
+        runtime: Optional[Runtime] = None,
+        execute_workers: int = 4,
     ) -> None:
         self.service = service if service is not None else EstimationService()
+        #: One runtime under the whole engine: shard fan-out, the pipelined
+        #: executor, and anything else that needs workers share these pools,
+        #: and every pool reports into the service's telemetry.
+        self.runtime = (
+            runtime if runtime is not None else Runtime(self.service.telemetry)
+        )
+        if execute_workers <= 0:
+            raise ValueError("execute_workers must be positive")
+        self.execute_workers = int(execute_workers)
         self.catalog = AttributeCatalog()
         self.planner = QueryPlanner(self.catalog, self.service)
         self.executor = QueryExecutor(self.catalog)
@@ -291,6 +306,7 @@ class SimilarityQueryEngine:
             num_shards=num_shards,
             partitioner=partitioner,
             parallel=parallel,
+            runtime=self.runtime,  # shard fan-out shares the engine's workers
         )
         estimators = [
             estimator_factory(list(shard.dataset), shard_index)
@@ -444,22 +460,57 @@ class SimilarityQueryEngine:
         return self.execute_many([query])[0]
 
     def execute_many(
-        self, queries: Sequence["ConjunctiveQuery | SimilarityPredicate"]
+        self,
+        queries: Sequence["ConjunctiveQuery | SimilarityPredicate"],
+        parallel: bool = True,
     ) -> List[QueryResult]:
         """The bulk path: one batched planning pass for the whole workload,
-        then per-query execution and feedback."""
+        then per-query execution and feedback.
+
+        With ``parallel`` (the default, when the engine has more than one
+        execute worker and more than one query), execution is *pipelined*:
+        each plan is handed to the runtime's ``engine-execute`` pool the
+        moment the planner assembles it, so residual verification of early
+        queries overlaps plan assembly (GPH allocation, service curve
+        fetches) of later ones.  Execution only reads the catalog's indexes
+        and distance kernels, and feedback is applied on this thread in query
+        order after each result lands — so results AND the drift/repair
+        sequence are bit-identical to the sequential path.
+        """
         normalized = as_queries(queries)
-        plans = self.planner.plan_many(normalized)
+        use_pool = (
+            parallel and self.execute_workers > 1 and len(normalized) > 1
+        )
+        if not use_pool:
+            results = []
+            for plan in self.planner.plan_many(normalized):
+                results.append(self._execute_with_feedback(plan))
+            return results
+        pool = self.runtime.pool(
+            self.EXECUTE_POOL, num_workers=self.execute_workers
+        )
+        handles = [
+            (plan, pool.submit(self.executor.execute, plan))
+            for plan in self.planner.iter_plans(normalized)
+        ]
         results = []
-        for plan in plans:
-            result = self.executor.execute(plan)
-            self.feedback.observe(
-                self.catalog.get(plan.driver.attribute).endpoint,
-                plan.driver.estimated_cardinality,
-                result.driver_actual,
-            )
+        for plan, handle in handles:
+            result = handle.result()
+            self._observe(plan, result)
             results.append(result)
         return results
+
+    def _execute_with_feedback(self, plan: QueryPlan) -> QueryResult:
+        result = self.executor.execute(plan)
+        self._observe(plan, result)
+        return result
+
+    def _observe(self, plan: QueryPlan, result: QueryResult) -> None:
+        self.feedback.observe(
+            self.catalog.get(plan.driver.attribute).endpoint,
+            plan.driver.estimated_cardinality,
+            result.driver_actual,
+        )
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -562,4 +613,5 @@ class SimilarityQueryEngine:
             "attributes": self.catalog.names(),
             "service": self.service.stats(),
             "feedback": self.feedback.snapshot(),
+            "runtime": self.runtime.stats(),
         }

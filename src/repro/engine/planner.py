@@ -196,22 +196,32 @@ class QueryPlanner:
         """Plan one query (a one-element batch through the workload path)."""
         return self.plan_many([query])[0]
 
-    def plan_many(self, queries: Sequence[ConjunctiveQuery]) -> List[QueryPlan]:
-        """Plan a whole workload with batched estimation.
+    def iter_plans(self, queries: Sequence[ConjunctiveQuery]):
+        """Plan a workload incrementally: one batched estimation pass up
+        front, then one plan yielded per query as it is assembled.
 
-        Each plan's ``planning_seconds`` is its amortized share of the batched
-        estimation time plus its own GPH allocation time (if any).
+        This is the pipelining hook the engine's ``execute_many`` builds on —
+        a yielded plan can start executing on a worker pool while later
+        queries are still being assembled (GPH allocation in particular can
+        dominate assembly time).  Consuming the whole generator produces
+        exactly :meth:`plan_many`'s output.
         """
         queries = list(queries)
         if not queries:
-            return []
+            return
         for query in queries:
             for predicate in query.predicates:
                 self.catalog.get(predicate.attribute)  # fail fast on unknown names
         start = time.perf_counter()
         workload_estimates = self._workload_estimates(queries)
         per_query_seconds = (time.perf_counter() - start) / len(queries)
-        return [
-            self._assemble(query, estimates, per_query_seconds)
-            for query, estimates in zip(queries, workload_estimates)
-        ]
+        for query, estimates in zip(queries, workload_estimates):
+            yield self._assemble(query, estimates, per_query_seconds)
+
+    def plan_many(self, queries: Sequence[ConjunctiveQuery]) -> List[QueryPlan]:
+        """Plan a whole workload with batched estimation.
+
+        Each plan's ``planning_seconds`` is its amortized share of the batched
+        estimation time plus its own GPH allocation time (if any).
+        """
+        return list(self.iter_plans(queries))

@@ -1,0 +1,40 @@
+"""Runtime layer: one concurrent execution substrate for the whole stack.
+
+Before this package existed the library had three incompatible ad-hoc
+concurrency mechanisms (serving's synchronous deferred micro-batching, and
+private thread pools inside the sharded selector and the replica router).
+They all run here now:
+
+* :class:`WorkerPool` — named, sized, lazily-started pools with bounded
+  submission queues and explicit backpressure (``block`` / ``reject`` /
+  ``shed_oldest``), Future-style :class:`TaskHandle`\\ s, graceful
+  drain/shutdown, and per-pool telemetry through
+  :class:`~repro.serving.ServingTelemetry`;
+* :class:`Runtime` — the named-pool registry layers share (engine, sharding,
+  replicas on one runtime = one set of workers), snapshot-aware: pools are
+  dropped at save and rebuilt lazily after restore;
+* :class:`BatchCoalescer` — thread-safe merging of requests from many threads
+  into one micro-batch per endpoint, the concurrent core of
+  :class:`~repro.serving.EstimationService`'s deferred path.
+"""
+
+from .coalescer import BatchCoalescer
+from .pool import (
+    BACKPRESSURE_POLICIES,
+    PoolRejectedError,
+    TaskHandle,
+    TaskShedError,
+    WorkerPool,
+)
+from .runtime import Runtime, default_runtime
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "BatchCoalescer",
+    "PoolRejectedError",
+    "Runtime",
+    "TaskHandle",
+    "TaskShedError",
+    "WorkerPool",
+    "default_runtime",
+]

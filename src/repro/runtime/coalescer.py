@@ -1,0 +1,84 @@
+"""Cross-thread request coalescing into per-endpoint micro-batches.
+
+A :class:`BatchCoalescer` is the concurrent replacement for a plain
+per-endpoint pending-request dict: requests arriving from any number of
+threads are appended under one lock, and the moment an endpoint's queue
+reaches the batch size, that exact batch is atomically popped and handed to
+the *one* caller whose append completed it — no other thread can flush, drop,
+or double-resolve those requests.  Explicit :meth:`drain` pops everything
+(or one endpoint's queue) with the same atomicity, so a service flushing on
+one thread while workers keep submitting on others never loses or duplicates
+a request: every request belongs to exactly one popped batch.
+
+The coalescer holds no I/O and never runs estimators itself — popping is the
+only synchronized step, so the lock is held for list operations only, never
+across a model call.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+
+class BatchCoalescer:
+    """Thread-safe per-endpoint request queues with atomic batch pop-off."""
+
+    def __init__(self, max_batch_size: int) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.max_batch_size = int(max_batch_size)
+        self._queues: Dict[str, List[Any]] = {}
+        self._lock = threading.Lock()
+
+    def add(self, endpoint: str, request: Any) -> Optional[List[Any]]:
+        """Queue one request; returns the full micro-batch if this append
+        completed it (atomically removed — the caller owns its resolution),
+        else ``None``."""
+        with self._lock:
+            queue = self._queues.setdefault(endpoint, [])
+            queue.append(request)
+            if len(queue) >= self.max_batch_size:
+                del self._queues[endpoint]
+                return queue
+            return None
+
+    def drain(self, endpoint: Optional[str] = None) -> Dict[str, List[Any]]:
+        """Atomically pop every queued request — all endpoints, or just one.
+
+        Returns ``{endpoint: requests}``; the caller owns resolving them.
+        """
+        with self._lock:
+            if endpoint is None:
+                drained, self._queues = self._queues, {}
+                return drained
+            return {endpoint: self._queues.pop(endpoint, [])}
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return sum(len(queue) for queue in self._queues.values())
+
+    def pending_for(self, endpoint: str) -> int:
+        with self._lock:
+            return len(self._queues.get(endpoint, []))
+
+    # ------------------------------------------------------------------ #
+    # Snapshot hooks (repro.store) — the lock is live state, the queues are
+    # client promises; the owning service refuses to save while any pend.
+    # ------------------------------------------------------------------ #
+    def __snapshot_state__(self) -> Dict[str, Any]:
+        if self.pending_count:
+            raise RuntimeError(
+                f"cannot snapshot a BatchCoalescer with {self.pending_count} "
+                "pending requests; drain it first"
+            )
+        state = dict(self.__dict__)
+        state["_queues"] = {}
+        state.pop("_lock", None)
+        return state
+
+    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._queues = {}
+        self._lock = threading.Lock()

@@ -1,0 +1,328 @@
+"""Worker pools: the one thread-parallel execution primitive of the library.
+
+Every concurrent site in the stack — sharded fan-out, replica routing, the
+engine's pipelined ``execute_many`` — runs its tasks on a :class:`WorkerPool`
+acquired from a shared :class:`~repro.runtime.Runtime` instead of constructing
+a private executor.  A pool is *named* (so independent layers sharing one
+runtime reuse the same workers instead of oversubscribing the machine),
+*sized* at creation, and *lazily started* — no thread exists until the first
+submission, which is what lets snapshots simply drop pools at save and
+rebuild them on demand after restore.
+
+Submission goes through a bounded queue with an explicit admission-control
+policy chosen per pool:
+
+* ``"block"`` (default) — a full queue makes ``submit`` wait for space; the
+  caller is the backpressure signal.
+* ``"reject"`` — a full queue raises :class:`PoolRejectedError` immediately;
+  the caller implements its own retry/degradation.
+* ``"shed_oldest"`` — a full queue drops the *oldest* queued task (its
+  :class:`TaskHandle` fails with :class:`TaskShedError`) and admits the new
+  one; freshest-work-wins, for traffic where a stale request's answer is
+  worthless by the time it would run.
+
+Handles are ``Future``-style: ``result()`` blocks for and returns the task's
+value (re-raising its exception), ``done``/``shed`` are non-blocking probes.
+Per-pool telemetry (tasks completed, per-task wall-clock) is exported through
+the same :class:`~repro.serving.ServingTelemetry` machinery the serving layer
+uses, under the endpoint name ``pool:<name>`` — pool load is inspectable
+exactly like endpoint traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+#: Admission-control policies a bounded pool can apply when its queue is full.
+BACKPRESSURE_POLICIES = ("block", "reject", "shed_oldest")
+
+
+class PoolRejectedError(RuntimeError):
+    """Raised by ``submit`` on a full ``"reject"``-policy queue."""
+
+
+class TaskShedError(RuntimeError):
+    """The failure a ``"shed_oldest"`` pool sets on a task it dropped."""
+
+
+class TaskHandle:
+    """Future-style handle for one submitted task.
+
+    Resolution happens exactly once — by the worker that ran the task, or by
+    the pool when the task is shed before running.  ``result()`` blocks until
+    then; a task that raised re-raises its exception on the waiter's thread.
+    """
+
+    __slots__ = ("_event", "_value", "_error", "_shed")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._shed = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the task finished (successfully, with an error, or shed)."""
+        return self._event.is_set()
+
+    @property
+    def shed(self) -> bool:
+        """Whether the task was dropped by a ``shed_oldest`` pool before running."""
+        return self._shed
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException, shed: bool = False) -> None:
+        self._error = error
+        self._shed = shed
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("task did not complete within the timeout")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The task's error (``None`` on success), waiting like :meth:`result`."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("task did not complete within the timeout")
+        return self._error
+
+
+class WorkerPool:
+    """A named, sized, lazily-started pool with bounded-queue admission control."""
+
+    def __init__(
+        self,
+        name: str,
+        num_workers: int,
+        max_queue_depth: Optional[int] = None,
+        policy: str = "block",
+        telemetry: Optional[Any] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if max_queue_depth is not None and max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive (or None for unbounded)")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; choose from "
+                f"{BACKPRESSURE_POLICIES}"
+            )
+        self.name = name
+        self.num_workers = int(num_workers)
+        self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
+        self.policy = policy
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._tasks: Deque[Tuple[TaskHandle, Callable, tuple, dict]] = deque()
+        self._threads: List[threading.Thread] = []
+        self._active = 0
+        self._shutdown = False
+        # Lifetime counters (reported via stats(); O(1) memory).
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.shed = 0
+        self.blocked_submissions = 0
+        self.max_queue_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        """Whether any worker thread exists yet (pools start lazily)."""
+        return bool(self._threads)
+
+    def _ensure_started_locked(self) -> None:
+        if self._threads:
+            return
+        self._spawn_locked(self.num_workers)
+
+    def _spawn_locked(self, count: int) -> None:
+        for _ in range(count):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-{self.name}-{len(self._threads)}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def ensure_workers(self, num_workers: int) -> None:
+        """Grow the pool to at least ``num_workers`` (never shrinks).
+
+        Lets later acquirers with bigger fan-out widen a shared pool — e.g.
+        an 8-shard selector joining a runtime whose ``shards`` pool was first
+        created by a 2-shard one — instead of silently running on the
+        narrower width the first acquirer picked.
+        """
+        with self._lock:
+            if num_workers <= self.num_workers or self._shutdown:
+                return
+            if self._threads:  # already running: add the missing workers now
+                self._spawn_locked(num_workers - self.num_workers)
+            self.num_workers = int(num_workers)
+
+    # ------------------------------------------------------------------ #
+    # Submission (admission control happens here)
+    # ------------------------------------------------------------------ #
+    def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> TaskHandle:
+        """Queue one task, applying the pool's backpressure policy when full."""
+        handle = TaskHandle()
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError(f"pool {self.name!r} is shut down")
+            if (
+                self.max_queue_depth is not None
+                and len(self._tasks) >= self.max_queue_depth
+            ):
+                if self.policy == "reject":
+                    self.rejected += 1
+                    raise PoolRejectedError(
+                        f"pool {self.name!r} queue is full "
+                        f"({self.max_queue_depth} tasks queued)"
+                    )
+                if self.policy == "shed_oldest":
+                    old_handle, _, _, _ = self._tasks.popleft()
+                    self.shed += 1
+                    old_handle._fail(
+                        TaskShedError(
+                            f"task shed from pool {self.name!r}: a newer "
+                            "submission displaced it from the full queue"
+                        ),
+                        shed=True,
+                    )
+                else:  # block
+                    self.blocked_submissions += 1
+                    while (
+                        len(self._tasks) >= self.max_queue_depth
+                        and not self._shutdown
+                    ):
+                        self._not_full.wait()
+                    if self._shutdown:
+                        raise RuntimeError(f"pool {self.name!r} is shut down")
+            self._tasks.append((handle, fn, args, kwargs))
+            self.submitted += 1
+            self.max_queue_seen = max(self.max_queue_seen, len(self._tasks))
+            self._ensure_started_locked()
+            self._not_empty.notify()
+        return handle
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Submit ``fn(item)`` per item and gather results in submission order.
+
+        The first failing task's exception re-raises on the caller's thread —
+        after every handle resolved, so no task is abandoned mid-flight.
+        """
+        handles = [self.submit(fn, item) for item in items]
+        errors = [handle.exception() for handle in handles]
+        for error in errors:
+            if error is not None:
+                raise error
+        return [handle.result() for handle in handles]
+
+    # ------------------------------------------------------------------ #
+    # Drain / shutdown
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until the queue is empty and no task is executing."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._tasks or self._active:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"pool {self.name!r} did not drain within the timeout"
+                    )
+                self._idle.wait(remaining)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; workers finish the queued tasks, then exit."""
+        with self._lock:
+            self._shutdown = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            threads = list(self._threads)
+        if wait:
+            for thread in threads:
+                thread.join()
+
+    # ------------------------------------------------------------------ #
+    # Worker loop
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._tasks and not self._shutdown:
+                    self._not_empty.wait()
+                if not self._tasks:
+                    return  # shutdown requested and the queue fully drained
+                handle, fn, args, kwargs = self._tasks.popleft()
+                self._active += 1
+                self._not_full.notify()
+            start = time.perf_counter()
+            error: Optional[BaseException] = None
+            value: Any = None
+            try:
+                value = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 — delivered via the handle
+                error = exc
+            elapsed = time.perf_counter() - start
+            # Account the task fully (telemetry, then counters) BEFORE
+            # resolving the handle: once result() or drain() returns, the
+            # pool and its telemetry must already show the task as finished —
+            # callers snapshot immediately after collecting results.
+            if self.telemetry is not None:
+                self.telemetry.record_pool_task(self.name, elapsed)
+            with self._lock:
+                self._active -= 1
+                if error is not None:
+                    self.failed += 1
+                else:
+                    self.completed += 1
+                if not self._tasks and not self._active:
+                    self._idle.notify_all()
+            if error is not None:
+                handle._fail(error)
+            else:
+                handle._resolve(value)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        return len(self._tasks)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "name": self.name,
+                "num_workers": self.num_workers,
+                "policy": self.policy,
+                "max_queue_depth": self.max_queue_depth,
+                "started": bool(self._threads),
+                "queue_depth": len(self._tasks),
+                "active": self._active,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "blocked_submissions": self.blocked_submissions,
+                "max_queue_seen": self.max_queue_seen,
+            }

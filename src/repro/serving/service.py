@@ -17,15 +17,27 @@ record, so repeated records across thresholds and across time all hit.
 The deferred API (``submit``/``flush``) accumulates single-query requests and
 flushes them as micro-batches once ``max_batch_size`` requests are queued for
 one estimator — the synchronous analogue of a request-queue server loop.
+
+**Concurrency.**  The service is safe to drive from many threads at once —
+shard fan-out, replica routing, and the engine's pipelined executor all hit
+one service.  A single re-entrant lock protects the cache, the registry, and
+every resolution step (re-entrant because a merged shard endpoint's estimator
+calls back into the service for the per-shard curves); deferred requests
+coalesce through a :class:`~repro.runtime.BatchCoalescer`, which atomically
+hands a just-completed micro-batch to exactly one thread — no request is ever
+lost, dropped, or resolved twice, and telemetry counters (themselves
+lock-protected) sum exactly to the work submitted.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..runtime.coalescer import BatchCoalescer
 from .cache import CurveCache
 from .registry import EstimatorRegistry, RegisteredEstimator
 from .telemetry import ServingTelemetry
@@ -86,20 +98,25 @@ class EstimationService:
         self.cache = CurveCache(capacity=cache_capacity)
         self.telemetry = ServingTelemetry()
         self.max_batch_size = int(max_batch_size)
-        #: Deferred requests, queued per endpoint so one endpoint filling up
-        #: never prematurely flushes another's half-built micro-batch.
-        self._pending: Dict[str, List[PendingEstimate]] = {}
+        #: Deferred requests, coalesced per endpoint so one endpoint filling
+        #: up never prematurely flushes another's half-built micro-batch —
+        #: and so submissions from many threads merge into one micro-batch.
+        self._coalescer = BatchCoalescer(max_batch_size=self.max_batch_size)
+        #: Re-entrant: a merged shard endpoint's estimator re-enters the
+        #: service for its per-shard curves while the lock is held.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Registration convenience
     # ------------------------------------------------------------------ #
     def register(self, name: str, estimator, **options) -> RegisteredEstimator:
         """Register an estimator (see :meth:`EstimatorRegistry.register`)."""
-        entry = self.registry.register(name, estimator, **options)
-        # Defensive: if the name was ever served before (e.g. unregistered
-        # directly on the registry), make sure no stale curves survive.
-        self.cache.invalidate(name)
-        return entry
+        with self._lock:
+            entry = self.registry.register(name, estimator, **options)
+            # Defensive: if the name was ever served before (e.g. unregistered
+            # directly on the registry), make sure no stale curves survive.
+            self.cache.invalidate(name)
+            return entry
 
     def unregister(self, name: str) -> None:
         """Remove an endpoint AND its cached curves.
@@ -109,8 +126,9 @@ class EstimationService:
         bare registry removal would let a later re-registration under the
         same name serve the old estimator's curves.
         """
-        self.registry.unregister(name)
-        self.cache.invalidate(name)
+        with self._lock:
+            self.registry.unregister(name)
+            self.cache.invalidate(name)
 
     # ------------------------------------------------------------------ #
     # Synchronous estimation
@@ -125,24 +143,25 @@ class EstimationService:
         silently succeeding on empty input.
         """
         start = time.perf_counter()
-        entry = self.registry.get(name)
-        records = list(records)
-        thetas = np.asarray(thetas, dtype=np.float64)
-        if len(thetas) != len(records):
-            raise ValueError("records and thetas must have the same length")
-        if not records:
-            # Zero-work requests still show up in the latency telemetry, so
-            # per-request accounting stays consistent across batch sizes.
+        with self._lock:
+            entry = self.registry.get(name)
+            records = list(records)
+            thetas = np.asarray(thetas, dtype=np.float64)
+            if len(thetas) != len(records):
+                raise ValueError("records and thetas must have the same length")
+            if not records:
+                # Zero-work requests still show up in the latency telemetry, so
+                # per-request accounting stays consistent across batch sizes.
+                self.telemetry.record_latency(name, time.perf_counter() - start)
+                return np.zeros(0)
+            curves = self._curves_for(entry, records)
+            columns = entry.curve_indices(thetas)  # one vectorized map per batch
+            answers = np.asarray(
+                [curve[column] for curve, column in zip(curves, columns)],
+                dtype=np.float64,
+            )
             self.telemetry.record_latency(name, time.perf_counter() - start)
-            return np.zeros(0)
-        curves = self._curves_for(entry, records)
-        columns = entry.curve_indices(thetas)  # one vectorized map per batch
-        answers = np.asarray(
-            [curve[column] for curve, column in zip(curves, columns)],
-            dtype=np.float64,
-        )
-        self.telemetry.record_latency(name, time.perf_counter() - start)
-        return answers
+            return answers
 
     def estimate(self, name: str, record: Any, theta: float) -> float:
         """Single-query estimate (a one-element batch through the curve path)."""
@@ -151,10 +170,11 @@ class EstimationService:
     def estimate_curve(self, name: str, record: Any) -> np.ndarray:
         """The full cached curve for one record (a copy; grid = entry's thetas)."""
         start = time.perf_counter()
-        entry = self.registry.get(name)
-        curve = self._curves_for(entry, [record])[0]
-        self.telemetry.record_latency(name, time.perf_counter() - start)
-        return curve.copy()
+        with self._lock:
+            entry = self.registry.get(name)
+            curve = self._curves_for(entry, [record])[0]
+            self.telemetry.record_latency(name, time.perf_counter() - start)
+            return curve.copy()
 
     def estimate_curve_many(self, name: str, records: Sequence[Any]) -> np.ndarray:
         """One cached curve per record, stacked into a fresh ``(n, t)`` matrix.
@@ -164,15 +184,16 @@ class EstimationService:
         serving layer sums these matrices across shard endpoints.
         """
         start = time.perf_counter()
-        entry = self.registry.get(name)
-        records = list(records)
-        if not records:
+        with self._lock:
+            entry = self.registry.get(name)
+            records = list(records)
+            if not records:
+                self.telemetry.record_latency(name, time.perf_counter() - start)
+                return np.zeros((0, len(entry.curve_thetas)))
+            curves = self._curves_for(entry, records)
+            stacked = np.stack(curves)  # a copy: cached rows stay frozen
             self.telemetry.record_latency(name, time.perf_counter() - start)
-            return np.zeros((0, len(entry.curve_thetas)))
-        curves = self._curves_for(entry, records)
-        stacked = np.stack(curves)  # a copy: cached rows stay frozen
-        self.telemetry.record_latency(name, time.perf_counter() - start)
-        return stacked
+            return stacked
 
     # ------------------------------------------------------------------ #
     # Deferred micro-batching
@@ -180,20 +201,23 @@ class EstimationService:
     def submit(self, name: str, record: Any, theta: float) -> PendingEstimate:
         """Queue one request; auto-flush once an estimator's queue fills up.
 
+        Requests from any number of threads coalesce into one micro-batch per
+        endpoint; the thread whose submission completes a batch resolves it.
         Auto-flush failures are NOT raised here — they may belong to a
-        different endpoint than the caller's, and every affected handle
-        already carries its error (``result()`` re-raises it).  Explicit
-        :meth:`flush` calls still raise.
+        different caller's requests, and every affected handle already
+        carries its error (``result()`` re-raises it) — but they are counted
+        per endpoint (``auto_flush_failures`` in the telemetry snapshot), so
+        the failures stay observable.  Explicit :meth:`flush` calls raise.
         """
-        self.registry.get(name)  # fail fast on unknown endpoints
+        with self._lock:
+            self.registry.get(name)  # fail fast on unknown endpoints
         pending = PendingEstimate(name, record, theta)
-        queue = self._pending.setdefault(name, [])
-        queue.append(pending)
-        if len(queue) >= self.max_batch_size:
+        batch = self._coalescer.add(name, pending)
+        if batch is not None:
             try:
-                self.flush(name)  # only the endpoint whose batch filled up
+                self._resolve_batch(name, batch)
             except Exception:
-                pass
+                self.telemetry.record_auto_flush_failure(name)
         return pending
 
     def flush(self, name: Optional[str] = None) -> int:
@@ -205,54 +229,61 @@ class EstimationService:
         still resolve, the queue fully drains, and the first error is
         re-raised afterwards.
         """
-        if name is None:
-            by_estimator, self._pending = self._pending, {}
-        else:
-            by_estimator = {name: self._pending.pop(name, [])}
+        drained = self._coalescer.drain(name)
         resolved = 0
         first_error: Optional[BaseException] = None
-        for name, requests in by_estimator.items():
+        for endpoint_name, requests in drained.items():
             if not requests:
                 continue
             try:
-                answers = self.estimate_many(
-                    name,
-                    [request.record for request in requests],
-                    [request.theta for request in requests],
-                )
+                resolved += self._resolve_batch(endpoint_name, requests)
             except Exception as error:
-                for request in requests:
-                    request._fail(error)
                 if first_error is None:
                     first_error = error
-                continue
-            for request, answer in zip(requests, answers):
-                request._resolve(answer)
-            resolved += len(requests)
         if first_error is not None:
             raise first_error
         return resolved
 
+    def _resolve_batch(self, name: str, requests: List[PendingEstimate]) -> int:
+        """Answer one popped micro-batch; on failure every handle carries the
+        error (and it re-raises).  ``requests`` was atomically removed from
+        the coalescer, so exactly one thread ever resolves each request."""
+        try:
+            answers = self.estimate_many(
+                name,
+                [request.record for request in requests],
+                [request.theta for request in requests],
+            )
+        except Exception as error:
+            for request in requests:
+                request._fail(error)
+            raise
+        for request, answer in zip(requests, answers):
+            request._resolve(answer)
+        return len(requests)
+
     @property
     def pending_count(self) -> int:
-        return sum(len(queue) for queue in self._pending.values())
+        return self._coalescer.pending_count
 
     # ------------------------------------------------------------------ #
     # Cache maintenance
     # ------------------------------------------------------------------ #
     def invalidate(self, name: Optional[str] = None) -> int:
         """Drop cached curves after a dataset update or retrain."""
-        if name is not None:
-            self.registry.get(name)
-        return self.cache.invalidate(name)
+        with self._lock:
+            if name is not None:
+                self.registry.get(name)
+            return self.cache.invalidate(name)
 
     def stats(self) -> Dict[str, Any]:
-        return {
-            "cache": self.cache.stats(),
-            "endpoints": self.telemetry.snapshot(),
-            "registered": self.registry.names(),
-            "pending": self.pending_count,
-        }
+        with self._lock:
+            return {
+                "cache": self.cache.stats(),
+                "endpoints": self.telemetry.snapshot(),
+                "registered": self.registry.names(),
+                "pending": self.pending_count,
+            }
 
     # ------------------------------------------------------------------ #
     # Snapshot hooks (repro.store)
@@ -262,7 +293,8 @@ class EstimationService:
 
         Pending handles are live client promises — they cannot survive a
         process boundary, and silently dropping them would strand callers
-        waiting on ``result()``.  Flush (or fail) them before saving.
+        waiting on ``result()``.  Flush (or fail) them before saving.  The
+        lock is live state and is rebuilt on restore.
         """
         if self.pending_count:
             raise RuntimeError(
@@ -270,8 +302,12 @@ class EstimationService:
                 "pending deferred requests; call flush() first"
             )
         state = dict(self.__dict__)
-        state["_pending"] = {}
+        state.pop("_lock", None)
         return state
+
+    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -279,7 +315,17 @@ class EstimationService:
     def _curves_for(
         self, entry: RegisteredEstimator, records: Sequence[Any]
     ) -> List[np.ndarray]:
-        """Curves aligned with ``records``, computing misses in one micro-batch."""
+        """Curves aligned with ``records``, computing misses in one micro-batch.
+
+        Callers hold ``self._lock`` — lookup, model call, and cache fill are
+        one atomic step, so two threads missing on the same record never
+        race a half-filled cache.  Holding the lock ACROSS the model call is
+        deliberate: estimators are outside the thread-safety contract
+        (several hold RNGs or live autograd machinery), so cold-path
+        inference serializes.  Concurrency wins come from everything outside
+        this step — warm cache hits queue only briefly, and the engine's
+        verification/fan-out work never touches the service at all.
+        """
         keys = [entry.key_for(record) for record in records]
         curves: List[Optional[np.ndarray]] = []
         missing: Dict[bytes, List[int]] = {}

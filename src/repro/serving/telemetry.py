@@ -2,16 +2,23 @@
 
 The service records, per registered estimator and globally: request counts,
 curve-cache hits/misses, the size of every micro-batch sent to a model,
-wall-clock latency, and — when a feedback loop reports observed cardinalities
-back (:mod:`repro.engine.feedback`) — estimated-vs-actual drift statistics
+wall-clock latency, auto-flush failures on the deferred path, and — when a
+feedback loop reports observed cardinalities back
+(:mod:`repro.engine.feedback`) — estimated-vs-actual drift statistics
 (online q-error and drift-event counts).  ``snapshot()`` returns a plain dict
 suitable for logging or for the benchmark harness to emit as JSON.
+
+Recording is thread-safe: one internal lock serializes every counter update,
+so worker-pool threads (:mod:`repro.runtime`), concurrent service clients,
+and the feedback loop can all report into one instance without losing
+increments.  The lock is dropped and rebuilt across snapshots.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict
 
 
 def q_error(estimated: float, actual: float) -> float:
@@ -34,6 +41,11 @@ class EndpointStats:
     batched_records: int = 0
     max_batch_size: int = 0
     latency_seconds: float = 0.0
+    #: Deferred-path micro-batches whose auto-flush raised.  ``submit``
+    #: swallows the error by design (it may belong to another caller's
+    #: endpoint; each affected handle still carries it) — this counter is
+    #: what keeps those failures observable instead of silent.
+    auto_flush_failures: int = 0
     #: Feedback-loop drift counters: estimated-vs-actual observations.
     observations: int = 0
     q_error_sum: float = 0.0
@@ -67,6 +79,7 @@ class EndpointStats:
             "mean_latency_seconds": (
                 self.latency_seconds / self.requests if self.requests else 0.0
             ),
+            "auto_flush_failures": self.auto_flush_failures,
             "observations": self.observations,
             "mean_q_error": self.mean_q_error,
             "max_q_error": self.q_error_max,
@@ -80,26 +93,58 @@ class ServingTelemetry:
     def __init__(self) -> None:
         self._endpoints: Dict[str, EndpointStats] = {}
         self.total = EndpointStats()
+        self._lock = threading.Lock()
 
     def endpoint(self, name: str) -> EndpointStats:
+        with self._lock:
+            if name not in self._endpoints:
+                self._endpoints[name] = EndpointStats()
+            return self._endpoints[name]
+
+    def _both(self, name: str):
+        """The endpoint's stats and the totals, under the lock."""
         if name not in self._endpoints:
             self._endpoints[name] = EndpointStats()
-        return self._endpoints[name]
+        return self._endpoints[name], self.total
 
     def record_requests(self, name: str, count: int, hits: int, misses: int) -> None:
-        for stats in (self.endpoint(name), self.total):
-            stats.requests += count
-            stats.cache_hits += hits
-            stats.cache_misses += misses
+        with self._lock:
+            for stats in self._both(name):
+                stats.requests += count
+                stats.cache_hits += hits
+                stats.cache_misses += misses
 
     def record_batch(self, name: str, batch_size: int) -> None:
-        for stats in (self.endpoint(name), self.total):
-            stats.batches += 1
-            stats.batched_records += batch_size
-            stats.max_batch_size = max(stats.max_batch_size, batch_size)
+        with self._lock:
+            for stats in self._both(name):
+                stats.batches += 1
+                stats.batched_records += batch_size
+                stats.max_batch_size = max(stats.max_batch_size, batch_size)
 
     def record_latency(self, name: str, seconds: float) -> None:
-        for stats in (self.endpoint(name), self.total):
+        with self._lock:
+            for stats in self._both(name):
+                stats.latency_seconds += seconds
+
+    def record_auto_flush_failure(self, name: str) -> None:
+        """Count one deferred micro-batch whose auto-flush raised."""
+        with self._lock:
+            for stats in self._both(name):
+                stats.auto_flush_failures += 1
+
+    def record_pool_task(self, pool_name: str, seconds: float) -> None:
+        """One finished worker-pool task, under the ``pool:<name>`` endpoint.
+
+        Deliberately NOT aggregated into ``total``: pool tasks are the
+        internal fan-out of client-facing requests already counted there —
+        adding them would double-count every parallel request.
+        """
+        with self._lock:
+            endpoint = f"pool:{pool_name}"
+            if endpoint not in self._endpoints:
+                self._endpoints[endpoint] = EndpointStats()
+            stats = self._endpoints[endpoint]
+            stats.requests += 1
             stats.latency_seconds += seconds
 
     def record_observation(self, name: str, estimated: float, actual: float) -> float:
@@ -109,23 +154,39 @@ class ServingTelemetry:
         recompute it for their own (windowed) bookkeeping.
         """
         error = q_error(estimated, actual)
-        for stats in (self.endpoint(name), self.total):
-            stats.observations += 1
-            stats.q_error_sum += error
-            stats.q_error_max = max(stats.q_error_max, error)
+        with self._lock:
+            for stats in self._both(name):
+                stats.observations += 1
+                stats.q_error_sum += error
+                stats.q_error_max = max(stats.q_error_max, error)
         return error
 
     def record_drift(self, name: str) -> None:
         """Count one drift-threshold crossing (cache flush + revalidation)."""
-        for stats in (self.endpoint(name), self.total):
-            stats.drift_events += 1
+        with self._lock:
+            for stats in self._both(name):
+                stats.drift_events += 1
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        report = {"total": self.total.snapshot()}
-        for name, stats in sorted(self._endpoints.items()):
-            report[name] = stats.snapshot()
-        return report
+        with self._lock:
+            report = {"total": self.total.snapshot()}
+            for name, stats in sorted(self._endpoints.items()):
+                report[name] = stats.snapshot()
+            return report
 
     def reset(self) -> None:
-        self._endpoints.clear()
-        self.total = EndpointStats()
+        with self._lock:
+            self._endpoints.clear()
+            self.total = EndpointStats()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot hooks (repro.store) — counters persist, the lock does not.
+    # ------------------------------------------------------------------ #
+    def __snapshot_state__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

@@ -18,18 +18,22 @@ served curves.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..datasets.updates import UpdateOperation, apply_operation
+from ..runtime import Runtime, default_runtime
 from ..selection.base import SimilaritySelector
 from .partitioner import Partitioner, ShardAssignment, get_partitioner
 
 #: Builds the exact selector for one shard's records.
 SelectorFactory = Callable[[Sequence], SimilaritySelector]
+
+#: Runtime pool name every sharded selector fans out on — selectors sharing a
+#: runtime share these workers instead of spawning one executor each.
+SHARD_POOL = "shards"
 
 
 @dataclass
@@ -67,6 +71,7 @@ class ShardedSelector(SimilaritySelector):
         num_shards: Optional[int] = None,
         partitioner: Union[str, Partitioner, None] = None,
         parallel: bool = True,
+        runtime: Optional[Runtime] = None,
     ) -> None:
         super().__init__(dataset)
         self.selector_factory = selector_factory
@@ -91,7 +96,10 @@ class ShardedSelector(SimilaritySelector):
             selector_factory([self._dataset[int(i)] for i in ids])
             for ids in self._assignment.global_ids
         ]
-        self._pool: Optional[ThreadPoolExecutor] = None
+        #: ``None`` means "the process-wide default runtime, resolved at use"
+        #: — an engine injects its own so serving, sharding, and pipelined
+        #: execution share one set of workers.
+        self.runtime = runtime
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -118,16 +126,16 @@ class ShardedSelector(SimilaritySelector):
 
         Thread parallelism pays off because the shard kernels are numpy
         scans/reductions that release the GIL; with one shard (or disabled
-        parallelism) the plain loop avoids pool overhead entirely.
+        parallelism) the plain loop avoids pool overhead entirely.  The
+        fan-out runs on the runtime's shared :data:`SHARD_POOL` — acquired
+        lazily, so a freshly restored selector (whose runtime dropped its
+        pools at save) just rebuilds it on the first parallel query.
         """
         if not self.parallel or self.num_shards == 1:
             return [task(shard) for shard in self._shards]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.num_shards, thread_name_prefix="repro-shard"
-            )
-        futures = [self._pool.submit(task, shard) for shard in self._shards]
-        return [future.result() for future in futures]
+        runtime = self.runtime if self.runtime is not None else default_runtime()
+        pool = runtime.pool(SHARD_POOL, num_workers=self.num_shards)
+        return pool.map(task, self._shards)
 
     def _merge(self, local_matches: Sequence[Sequence[int]]) -> np.ndarray:
         """Translate per-shard local match ids to one sorted global id array."""
@@ -191,6 +199,7 @@ class ShardedSelector(SimilaritySelector):
             self.selector_factory,
             partitioner=self.partitioner,
             parallel=self.parallel,
+            runtime=self.runtime,
         )
 
     # ------------------------------------------------------------------ #
@@ -203,21 +212,22 @@ class ShardedSelector(SimilaritySelector):
         return self._shards[0].rebuild(records)
 
     def __snapshot_state__(self) -> Dict[str, Any]:
-        """Persist shards + assignment; drop the two unserializable members.
+        """Persist shards + assignment; drop the unserializable member.
 
-        The thread pool is recreated lazily on first parallel fan-out, and
         ``selector_factory`` is typically a caller closure — the restore hook
         substitutes :meth:`_rebuild_shard`, which reconstructs a same-type,
         same-configuration selector, so post-restore updates keep working.
+        The ``runtime`` reference persists as an object (its own hooks drop
+        the live pools), preserving runtime-sharing identity across restore:
+        an engine and its sharded selectors restore onto ONE runtime, and the
+        shard pool is rebuilt lazily on the first parallel fan-out.
         """
         state = dict(self.__dict__)
-        state["_pool"] = None
         state.pop("selector_factory", None)
         return state
 
     def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
-        self._pool = None
         self.selector_factory = self._rebuild_shard
 
     # ------------------------------------------------------------------ #

@@ -31,7 +31,15 @@ import numpy as np
 PathLike = Union[str, os.PathLike]
 
 FORMAT_NAME = "repro-snapshot"
-FORMAT_VERSION = 1
+# Version history:
+#   1 — initial pinned format (PR 4).
+#   2 — runtime refactor: EstimationService persists a BatchCoalescer instead
+#       of a `_pending` dict, ShardedSelector/ReplicaSet persist a `runtime`
+#       reference instead of `_pool`, EndpointStats gained
+#       `auto_flush_failures`.  Version-1 snapshots would decode into objects
+#       missing those attributes, so they are refused loudly here instead of
+#       failing obscurely later.
+FORMAT_VERSION = 2
 
 MANIFEST_FILENAME = "manifest.json"
 PAYLOAD_FILENAME = "arrays.bin"

@@ -23,16 +23,19 @@ load balance is inspectable exactly like endpoint traffic.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..runtime import Runtime
 from ..serving import ServingTelemetry
 from .format import PathLike
 from .snapshot import load_engine_replicas
 
 ROUTING_POLICIES = ("round_robin", "least_loaded", "random")
+
+#: Runtime pool name replica fan-out runs on.
+REPLICA_POOL = "replicas"
 
 
 class ReplicaSet:
@@ -43,6 +46,7 @@ class ReplicaSet:
         replicas: Sequence[Any],
         routing: str = "round_robin",
         seed: int = 0,
+        runtime: Optional[Runtime] = None,
     ) -> None:
         replicas = list(replicas)
         if not replicas:
@@ -58,7 +62,11 @@ class ReplicaSet:
         self._counts = [0] * len(replicas)
         self._cursor = 0
         self._rng = np.random.default_rng(self.seed)
-        self._pool: Optional[ThreadPoolExecutor] = None
+        #: The execution substrate replica fan-out runs on.  Default: a
+        #: runtime of its own, reporting pool telemetry alongside the
+        #: per-replica routing counters; inject one to share workers with
+        #: other components (e.g. a sharded primary on the same box).
+        self.runtime = runtime if runtime is not None else Runtime(self.telemetry)
 
     @classmethod
     def from_snapshot(
@@ -67,6 +75,7 @@ class ReplicaSet:
         num_replicas: int,
         routing: str = "round_robin",
         seed: int = 0,
+        runtime: Optional[Runtime] = None,
     ) -> "ReplicaSet":
         """Spawn ``num_replicas`` independent engines from one snapshot.
 
@@ -79,6 +88,7 @@ class ReplicaSet:
             load_engine_replicas(path, num_replicas),
             routing=routing,
             seed=seed,
+            runtime=runtime,
         )
 
     # ------------------------------------------------------------------ #
@@ -143,16 +153,12 @@ class ReplicaSet:
         if len(shares) <= 1:
             outcomes = [run(share) for share in shares]
         else:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=len(self.replicas), thread_name_prefix="repro-replica"
-                )
-            outcomes = [
-                future.result()
-                for future in [self._pool.submit(run, share) for share in shares]
-            ]
-        # Telemetry is recorded on the caller's thread only — ServingTelemetry
-        # counters are plain ints, not synchronized.  A failing share fails
+            # Shared runtime pool, rebuilt lazily after a restore (``run``
+            # returns errors as values, so map() itself never raises here).
+            pool = self.runtime.pool(REPLICA_POOL, num_workers=len(self.replicas))
+            outcomes = pool.map(run, shares)
+        # Telemetry is recorded on the caller's thread so routing counters
+        # and telemetry move together.  A failing share fails
         # the batch, but only AFTER every share finished: successful shares
         # keep their telemetry, the failed share's queries are rolled out of
         # the load counts (that work never happened — leaving it in would
@@ -176,11 +182,10 @@ class ReplicaSet:
         return results
 
     def __snapshot_state__(self) -> Dict[str, Any]:
-        """A replica set is itself snapshottable — minus the live thread pool
-        (recreated lazily on the next batched execute)."""
-        state = dict(self.__dict__)
-        state["_pool"] = None
-        return state
+        """A replica set is itself snapshottable; its runtime persists as an
+        object whose own hooks drop the live pools (rebuilt lazily on the
+        next batched execute)."""
+        return dict(self.__dict__)
 
     # ------------------------------------------------------------------ #
     # Writes are refused

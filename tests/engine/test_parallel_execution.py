@@ -1,0 +1,196 @@
+"""Pipelined ``execute_many`` equivalence: pooled execution changes the
+wall-clock, never the answers.
+
+The engine's parallel path must be bit-identical to sequential execution on
+all four distances — results, plans, feedback windows, and drift telemetry —
+including when the driving attribute fans out across shards on the same
+runtime's pools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampling import UniformSamplingEstimator
+from repro.engine import ConjunctiveQuery, SimilarityPredicate, SimilarityQueryEngine
+from repro.runtime import Runtime
+
+DISTANCES = ["hamming", "edit", "jaccard", "euclidean"]
+THETAS = {"hamming": 5.0, "edit": 3.0, "jaccard": 0.4, "euclidean": 1.5}
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    from repro.datasets import (
+        make_binary_dataset,
+        make_set_dataset,
+        make_string_dataset,
+        make_vector_dataset,
+    )
+
+    n = 180
+    return {
+        "hamming": make_binary_dataset(
+            num_records=n, dimension=32, num_clusters=4, flip_probability=0.1,
+            theta_max=12, seed=13, name="HM-Par",
+        ),
+        "edit": make_string_dataset(
+            num_records=n, num_clusters=4, base_length=10, max_mutations=5,
+            theta_max=6, seed=13, name="ED-Par",
+        ),
+        "jaccard": make_set_dataset(
+            num_records=n, universe_size=60, num_clusters=4, base_set_size=12,
+            theta_max=0.8, seed=13, name="JC-Par",
+        ),
+        "euclidean": make_vector_dataset(
+            num_records=n, dimension=8, num_clusters=4, theta_max=4.0,
+            seed=13, name="EU-Par",
+        ),
+    }
+
+
+def _build_engine(datasets, execute_workers=4):
+    engine = SimilarityQueryEngine(execute_workers=execute_workers)
+    for name in DISTANCES:
+        dataset = datasets[name]
+        engine.register_attribute(
+            name,
+            dataset.records,
+            name,
+            UniformSamplingEstimator(dataset.records, name, sample_ratio=0.4, seed=3),
+            theta_max=dataset.theta_max,
+        )
+    return engine
+
+
+def _queries(datasets):
+    queries = [
+        SimilarityPredicate(name, datasets[name].records[index], THETAS[name])
+        for index in (1, 7, 23, 40)
+        for name in DISTANCES
+    ]
+    queries.append(
+        ConjunctiveQuery(
+            [
+                SimilarityPredicate("hamming", datasets["hamming"].records[3], 6.0),
+                SimilarityPredicate("jaccard", datasets["jaccard"].records[3], 0.5),
+            ]
+        )
+    )
+    return queries
+
+
+def assert_result_lists_equal(results_a, results_b):
+    assert len(results_a) == len(results_b)
+    for a, b in zip(results_a, results_b):
+        assert a.record_ids == b.record_ids
+        assert a.driver_actual == b.driver_actual
+        assert a.driver_candidates == b.driver_candidates
+        assert a.verification_examined == b.verification_examined
+        assert a.shard_counts == b.shard_counts
+        assert a.plan.driver.attribute == b.plan.driver.attribute
+        assert (
+            a.plan.driver.estimated_cardinality == b.plan.driver.estimated_cardinality
+        )
+        assert [p.attribute for p in a.plan.residuals] == [
+            p.attribute for p in b.plan.residuals
+        ]
+
+
+class TestBitIdenticalToSequential:
+    def test_four_distance_workload(self, datasets):
+        sequential_engine = _build_engine(datasets)
+        parallel_engine = _build_engine(datasets)
+        queries = _queries(datasets)
+
+        sequential = sequential_engine.execute_many(queries, parallel=False)
+        parallel = parallel_engine.execute_many(queries)
+        assert_result_lists_equal(sequential, parallel)
+
+        # The parallel engine actually used its pool.
+        pool_stats = parallel_engine.runtime.stats()["engine-execute"]
+        assert pool_stats["completed"] == len(queries)
+        assert "engine-execute" not in sequential_engine.runtime.pool_names()
+
+        # Feedback state is identical too: same windows, same observations.
+        for name in DISTANCES:
+            assert list(sequential_engine.feedback._windows.get(name, [])) == list(
+                parallel_engine.feedback._windows.get(name, [])
+            )
+            assert (
+                sequential_engine.service.telemetry.endpoint(name).observations
+                == parallel_engine.service.telemetry.endpoint(name).observations
+            )
+        assert len(sequential_engine.feedback.events) == len(
+            parallel_engine.feedback.events
+        )
+
+    def test_repeated_workload_hits_the_warm_cache_identically(self, datasets):
+        engine = _build_engine(datasets)
+        queries = _queries(datasets)
+        first = engine.execute_many(queries)
+        hits_before = engine.service.telemetry.endpoint("hamming").cache_hits
+        second = engine.execute_many(queries)
+        assert_result_lists_equal(first, second)
+        assert engine.service.telemetry.endpoint("hamming").cache_hits > hits_before
+
+    def test_single_query_and_empty_workload_stay_sequential(self, datasets):
+        engine = _build_engine(datasets)
+        assert engine.execute_many([]) == []
+        query = SimilarityPredicate("hamming", datasets["hamming"].records[2], 5.0)
+        result = engine.execute(query)
+        assert result.record_ids  # the record itself at least
+        assert "engine-execute" not in engine.runtime.pool_names()
+
+    def test_workers_equal_one_disables_the_pool(self, datasets):
+        engine = _build_engine(datasets, execute_workers=1)
+        engine.execute_many(_queries(datasets))
+        assert engine.runtime.pool_names() == []
+
+
+class TestShardedDriverOnSharedRuntime:
+    def test_sharded_fanout_and_pipelined_execution_share_one_runtime(self, datasets):
+        dataset = datasets["hamming"]
+
+        def build(execute_workers):
+            engine = SimilarityQueryEngine(execute_workers=execute_workers)
+            engine.register_sharded_attribute(
+                "vec",
+                dataset.records,
+                "hamming",
+                lambda records, shard: UniformSamplingEstimator(
+                    records, "hamming", sample_ratio=0.5, seed=shard
+                ),
+                num_shards=3,
+                theta_max=dataset.theta_max,
+            )
+            return engine
+
+        queries = [
+            SimilarityPredicate("vec", dataset.records[i], 6.0) for i in (2, 9, 31, 44)
+        ]
+        sequential = build(4).execute_many(queries, parallel=False)
+        parallel_engine = build(4)
+        parallel = parallel_engine.execute_many(queries)
+        assert_result_lists_equal(sequential, parallel)
+        for result in parallel:
+            assert result.shard_counts is not None
+            assert sum(result.shard_counts) == result.driver_actual
+
+        # Both concurrency sites live on the engine's ONE runtime, and the
+        # pools report through the service's telemetry.
+        assert set(parallel_engine.runtime.pool_names()) == {
+            "engine-execute",
+            "shards",
+        }
+        snapshot = parallel_engine.service.telemetry.snapshot()
+        assert snapshot["pool:engine-execute"]["requests"] == len(queries)
+        assert snapshot["pool:shards"]["requests"] >= 3 * len(queries)
+
+    def test_injected_runtime_is_shared_not_owned(self, datasets):
+        runtime = Runtime()
+        engine = _build_engine(datasets)
+        other = SimilarityQueryEngine(runtime=runtime)
+        assert other.runtime is runtime
+        assert engine.runtime is not runtime

@@ -1,0 +1,97 @@
+"""BatchCoalescer: atomic batch pop-off, drains, and cross-thread merging."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime import BatchCoalescer
+
+
+class TestBatchSemantics:
+    def test_add_returns_the_batch_exactly_at_size(self):
+        coalescer = BatchCoalescer(max_batch_size=3)
+        assert coalescer.add("a", 1) is None
+        assert coalescer.add("a", 2) is None
+        assert coalescer.add("b", 10) is None  # other endpoint: separate queue
+        batch = coalescer.add("a", 3)
+        assert batch == [1, 2, 3]
+        assert coalescer.pending_for("a") == 0  # popped atomically
+        assert coalescer.pending_for("b") == 1
+
+    def test_drain_one_endpoint_leaves_the_others(self):
+        coalescer = BatchCoalescer(max_batch_size=10)
+        coalescer.add("a", 1)
+        coalescer.add("b", 2)
+        assert coalescer.drain("a") == {"a": [1]}
+        assert coalescer.pending_count == 1
+        assert coalescer.drain("a") == {"a": []}  # empty, not an error
+
+    def test_drain_all(self):
+        coalescer = BatchCoalescer(max_batch_size=10)
+        coalescer.add("a", 1)
+        coalescer.add("b", 2)
+        coalescer.add("b", 3)
+        assert coalescer.drain() == {"a": [1], "b": [2, 3]}
+        assert coalescer.pending_count == 0
+
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchCoalescer(max_batch_size=0)
+
+
+class TestCrossThreadMerging:
+    def test_every_request_lands_in_exactly_one_batch(self):
+        """N threads × M adds: the popped batches plus the final drain must
+        partition the requests — nothing lost, nothing duplicated."""
+        coalescer = BatchCoalescer(max_batch_size=7)
+        num_threads, per_thread = 8, 200
+        popped_lock = threading.Lock()
+        popped = []
+        barrier = threading.Barrier(num_threads)
+
+        def hammer(thread_id):
+            barrier.wait()
+            for i in range(per_thread):
+                batch = coalescer.add("endpoint", (thread_id, i))
+                if batch is not None:
+                    with popped_lock:
+                        popped.extend(batch)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,), daemon=True)
+            for t in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        leftover = coalescer.drain()["endpoint"]
+        seen = popped + leftover
+        assert len(seen) == num_threads * per_thread
+        assert len(set(seen)) == num_threads * per_thread  # no duplicates
+        # Every full batch respected the size bound exactly.
+        assert len(popped) % 7 == 0
+        assert len(leftover) < 7
+
+
+class TestSnapshotHooks:
+    def test_refuses_to_snapshot_pending_requests(self):
+        coalescer = BatchCoalescer(max_batch_size=4)
+        coalescer.add("a", 1)
+        with pytest.raises(RuntimeError, match="pending"):
+            coalescer.__snapshot_state__()
+        coalescer.drain()
+        state = coalescer.__snapshot_state__()
+        assert state["_queues"] == {}
+        assert "_lock" not in state
+
+    def test_restore_rebuilds_the_lock(self):
+        coalescer = BatchCoalescer(max_batch_size=4)
+        state = coalescer.__snapshot_state__()
+        restored = BatchCoalescer.__new__(BatchCoalescer)
+        restored.__snapshot_restore__(state)
+        assert restored.max_batch_size == 4
+        assert restored.add("a", 1) is None  # lock works again
+        assert restored.pending_count == 1

@@ -19,7 +19,7 @@ from repro.core.incremental import IncrementalUpdateManager
 from repro.datasets.updates import UpdateOperation
 from repro.engine import ConjunctiveQuery, SimilarityPredicate, SimilarityQueryEngine
 from repro.selection import PackedHammingSelector
-from repro.store import inspect_snapshot, load_engine, save_engine
+from repro.store import ReplicaSet, inspect_snapshot, load_engine, save_engine
 
 
 DISTANCES = ["hamming", "edit", "jaccard", "euclidean"]
@@ -227,6 +227,94 @@ class TestGPHAndSharded:
         both = engine.apply_update("vec", UpdateOperation("insert", [dataset.records[0]]))
         assert report.touched_shards == both.touched_shards
         assert_results_equal(engine.execute(query), restored.execute(query))
+
+
+class TestRuntimeBackedTopology:
+    """An engine whose concurrency runs on the shared runtime (pipelined
+    executor + sharded fan-out) must snapshot WITHOUT serializing pools and
+    restore to a fully working parallel topology — including replicas."""
+
+    def _sharded_runtime_engine(self, dataset):
+        engine = SimilarityQueryEngine(execute_workers=4)
+        engine.register_sharded_attribute(
+            "vec",
+            dataset.records,
+            "hamming",
+            lambda records, shard: UniformSamplingEstimator(
+                records, "hamming", sample_ratio=0.5, seed=shard
+            ),
+            num_shards=3,
+            theta_max=dataset.theta_max,
+        )
+        return engine
+
+    def test_runtime_pools_never_serialize_and_rebuild_after_restore(
+        self, datasets, tmp_path
+    ):
+        dataset = datasets["hamming"]
+        engine = self._sharded_runtime_engine(dataset)
+        queries = [
+            SimilarityPredicate("vec", dataset.records[i], 6.0) for i in (2, 9, 31, 44)
+        ]
+        engine.execute_many(queries)  # spin up both pools before saving
+        assert set(engine.runtime.pool_names()) == {"engine-execute", "shards"}
+
+        save_engine(engine, tmp_path / "snap")
+        manifest_text = (tmp_path / "snap" / "manifest.json").read_text()
+        assert "WorkerPool" not in manifest_text  # pools are dropped, not saved
+        assert "_thread" not in manifest_text
+
+        restored = load_engine(tmp_path / "snap")
+        # The restored runtime starts empty; identity survives — the restored
+        # sharded selector fans out on the restored ENGINE's runtime.
+        assert restored.runtime.pool_names() == []
+        assert restored.catalog.get("vec").selector.runtime is restored.runtime
+
+        # Parallel execution works again (pools rebuilt lazily) and matches
+        # the original engine query for query, shard counts included.
+        for original, loaded in zip(
+            engine.execute_many(queries), restored.execute_many(queries)
+        ):
+            assert_results_equal(original, loaded)
+        assert set(restored.runtime.pool_names()) == {"engine-execute", "shards"}
+        pool_report = restored.service.telemetry.snapshot()["pool:engine-execute"]
+        assert pool_report["requests"] >= len(queries)
+
+    def test_replicas_of_a_runtime_backed_engine_route_on_their_own_pools(
+        self, datasets, tmp_path
+    ):
+        dataset = datasets["hamming"]
+        engine = self._sharded_runtime_engine(dataset)
+        queries = [
+            SimilarityPredicate("vec", dataset.records[i], 6.0) for i in (2, 9, 31, 44)
+        ]
+        expected = engine.execute_many(queries)
+        save_engine(engine, tmp_path / "snap")
+
+        replicas = ReplicaSet.from_snapshot(tmp_path / "snap", 2)
+        answered = replicas.execute_many(queries)
+        for original, routed in zip(expected, answered):
+            assert_results_equal(original, routed)
+        assert sum(replicas.query_counts()) == len(queries)
+        # The batched fan-out ran on the replica set's runtime pool, and the
+        # pool reported into the same telemetry as the routing counters.
+        assert replicas.runtime.pool_names() == ["replicas"]
+        assert replicas.telemetry.snapshot()["pool:replicas"]["requests"] >= 2
+
+    def test_in_flight_runtime_work_blocks_save(self, datasets, tmp_path):
+        import threading
+
+        engine = _build_engine(datasets)
+        gate = threading.Event()
+        handle = engine.runtime.pool("side-work", num_workers=1).submit(gate.wait, 10)
+        try:
+            with pytest.raises(RuntimeError, match="tasks in flight"):
+                save_engine(engine, tmp_path / "snap")
+        finally:
+            gate.set()
+            handle.result(timeout=5)
+        engine.runtime.drain(timeout=5)
+        save_engine(engine, tmp_path / "snap")  # idle runtime saves cleanly
 
 
 class TestManagerAndFeedbackResume:
