@@ -9,7 +9,11 @@ They all run here now:
   submission queues and explicit backpressure (``block`` / ``reject`` /
   ``shed_oldest``), Future-style :class:`TaskHandle`\\ s, graceful
   drain/shutdown, and per-pool telemetry through
-  :class:`~repro.serving.ServingTelemetry`;
+  :class:`~repro.serving.ServingTelemetry`.  Two backends share that one
+  API: ``backend="thread"`` (the default) and ``backend="process"`` — forked
+  worker processes for true multicore execution, fed picklable tasks whose
+  dataset arrays arrive zero-copy via :class:`~repro.store.SharedDataPlane`
+  mmaps rather than per-task pickling;
 * :class:`Runtime` — the named-pool registry layers share (engine, sharding,
   replicas on one runtime = one set of workers), snapshot-aware: pools are
   dropped at save and rebuilt lazily after restore;
@@ -21,20 +25,24 @@ They all run here now:
 from .coalescer import BatchCoalescer
 from .pool import (
     BACKPRESSURE_POLICIES,
+    POOL_BACKENDS,
     PoolRejectedError,
     TaskHandle,
     TaskShedError,
     WorkerPool,
+    fork_available,
 )
 from .runtime import Runtime, default_runtime
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
     "BatchCoalescer",
+    "POOL_BACKENDS",
     "PoolRejectedError",
     "Runtime",
     "TaskHandle",
     "TaskShedError",
     "WorkerPool",
     "default_runtime",
+    "fork_available",
 ]

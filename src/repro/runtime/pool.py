@@ -27,17 +27,82 @@ Per-pool telemetry (tasks completed, per-task wall-clock) is exported through
 the same :class:`~repro.serving.ServingTelemetry` machinery the serving layer
 uses, under the endpoint name ``pool:<name>`` — pool load is inspectable
 exactly like endpoint traffic.
+
+Two execution backends share ALL of the above (same queue, same admission
+control, same handles, same telemetry, same drain/shutdown):
+
+* ``backend="thread"`` (default) — tasks run on the worker threads.  Wins
+  when the tasks are GIL-releasing numpy kernels; zero serialization.
+* ``backend="process"`` — each worker thread is paired 1:1 with a forked
+  daemon child process; the thread ships the pre-pickled task down a pipe
+  and blocks (GIL released) on the reply while the child executes on its own
+  core.  True multicore for Python-bound work.  Tasks must pickle —
+  ``submit`` refuses unpicklable closures loudly at submission time — and
+  dataset arrays must NOT ride in task arguments: publish them once via
+  :class:`~repro.store.SharedDataPlane` and attach by mmap worker-side.
+  On platforms without ``fork`` the pool silently runs on the thread
+  backend (``requested_backend`` records the ask, ``backend`` the truth).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
 import threading
 import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
+from .process import ERROR, OK, SHUTDOWN_SENTINEL, run_child_loop
+
 #: Admission-control policies a bounded pool can apply when its queue is full.
 BACKPRESSURE_POLICIES = ("block", "reject", "shed_oldest")
+
+#: Execution backends a pool can run its tasks on.
+POOL_BACKENDS = ("thread", "process")
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method (Linux/macOS)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class _ChildWorker:
+    """One parent-thread's dedicated child process + pipe (process backend)."""
+
+    __slots__ = ("process", "connection")
+
+    def __init__(self, pool_name: str, index: int) -> None:
+        context = multiprocessing.get_context("fork")
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=run_child_loop,
+            args=(child_conn,),
+            name=f"repro-{pool_name}-proc-{index}",
+            daemon=True,  # the OS must never hold an orphan past the parent
+        )
+        self.process.start()
+        child_conn.close()  # the child holds its own copy
+        self.connection = parent_conn
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful sentinel + join; terminate if the child ignores both."""
+        try:
+            self.connection.send_bytes(SHUTDOWN_SENTINEL)
+        except (OSError, ValueError):
+            pass
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - ignores the sentinel
+            self.process.terminate()
+            self.process.join(timeout)
 
 
 class PoolRejectedError(RuntimeError):
@@ -107,6 +172,7 @@ class WorkerPool:
         max_queue_depth: Optional[int] = None,
         policy: str = "block",
         telemetry: Optional[Any] = None,
+        backend: str = "thread",
     ) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -117,6 +183,16 @@ class WorkerPool:
                 f"unknown backpressure policy {policy!r}; choose from "
                 f"{BACKPRESSURE_POLICIES}"
             )
+        if backend not in POOL_BACKENDS:
+            raise ValueError(
+                f"unknown pool backend {backend!r}; choose from {POOL_BACKENDS}"
+            )
+        #: What the caller asked for; ``backend`` records what actually runs
+        #: (thread fallback on platforms without fork).
+        self.requested_backend = backend
+        if backend == "process" and not fork_available():
+            backend = "thread"
+        self.backend = backend
         self.name = name
         self.num_workers = int(num_workers)
         self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
@@ -126,8 +202,11 @@ class WorkerPool:
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
-        self._tasks: Deque[Tuple[TaskHandle, Callable, tuple, dict]] = deque()
+        #: Queue rows: (handle, fn, args, kwargs, payload) — ``payload`` is
+        #: the pre-pickled task for the process backend, ``None`` for threads.
+        self._tasks: Deque[Tuple[TaskHandle, Optional[Callable], tuple, dict, Optional[bytes]]] = deque()
         self._threads: List[threading.Thread] = []
+        self._children: List[Optional[_ChildWorker]] = []
         self._active = 0
         self._shutdown = False
         # Lifetime counters (reported via stats(); O(1) memory).
@@ -154,9 +233,17 @@ class WorkerPool:
 
     def _spawn_locked(self, count: int) -> None:
         for _ in range(count):
+            index = len(self._threads)
+            if self.backend == "process":
+                # Fork the child BEFORE its shepherd thread exists, so the
+                # child never inherits a mid-operation worker thread's state.
+                self._children.append(_ChildWorker(self.name, index))
+            else:
+                self._children.append(None)
             thread = threading.Thread(
                 target=self._worker_loop,
-                name=f"repro-{self.name}-{len(self._threads)}",
+                args=(index,),
+                name=f"repro-{self.name}-{index}",
                 daemon=True,
             )
             self._threads.append(thread)
@@ -181,7 +268,25 @@ class WorkerPool:
     # Submission (admission control happens here)
     # ------------------------------------------------------------------ #
     def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> TaskHandle:
-        """Queue one task, applying the pool's backpressure policy when full."""
+        """Queue one task, applying the pool's backpressure policy when full.
+
+        On the process backend the task is pickled HERE, outside the pool
+        lock and before admission — an unpicklable closure fails the caller
+        immediately and loudly instead of poisoning a worker later.
+        """
+        payload: Optional[bytes] = None
+        if self.backend == "process":
+            try:
+                payload = pickle.dumps(
+                    (fn, args, kwargs), protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception as error:
+                raise TypeError(
+                    f"pool {self.name!r} runs the process backend: tasks must "
+                    "pickle (module-level function + plain-data arguments). "
+                    "Publish dataset arrays through a SharedDataPlane and pass "
+                    "the handle instead of closing over live objects."
+                ) from error
         handle = TaskHandle()
         with self._lock:
             if self._shutdown:
@@ -197,7 +302,7 @@ class WorkerPool:
                         f"({self.max_queue_depth} tasks queued)"
                     )
                 if self.policy == "shed_oldest":
-                    old_handle, _, _, _ = self._tasks.popleft()
+                    old_handle, _, _, _, _ = self._tasks.popleft()
                     self.shed += 1
                     old_handle._fail(
                         TaskShedError(
@@ -215,7 +320,7 @@ class WorkerPool:
                         self._not_full.wait()
                     if self._shutdown:
                         raise RuntimeError(f"pool {self.name!r} is shut down")
-            self._tasks.append((handle, fn, args, kwargs))
+            self._tasks.append((handle, fn, args, kwargs, payload))
             self.submitted += 1
             self.max_queue_seen = max(self.max_queue_seen, len(self._tasks))
             self._ensure_started_locked()
@@ -264,23 +369,73 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     # Worker loop
     # ------------------------------------------------------------------ #
-    def _worker_loop(self) -> None:
+    def _run_in_child(
+        self, index: int, payload: bytes
+    ) -> Tuple[Any, Optional[BaseException]]:
+        """Ship one pickled task to this thread's child and await the reply.
+
+        A dead child (killed, segfaulted) fails the task loudly and is
+        replaced before the next task — one poisoned task never wedges the
+        pool.  The blocking ``recv`` releases the GIL: this is where the
+        parent thread idles while the child's core does the work.
+        """
+        child = self._children[index]
+        if child is None or not child.alive:
+            child = self._children[index] = _ChildWorker(self.name, index)
+        try:
+            child.connection.send_bytes(payload)
+            code, obj = child.connection.recv()
+        except (EOFError, OSError) as exc:
+            # Discard the broken child NOW rather than trusting is_alive()
+            # on the next task — exit status can lag the pipe EOF, and a
+            # stale True there would feed one more task to a corpse.
+            child.stop(timeout=1.0)
+            self._children[index] = None
+            return None, RuntimeError(
+                f"process worker {index} of pool {self.name!r} died mid-task "
+                f"({exc!r}); the task is lost and the worker will be replaced"
+            )
+        if code == OK:
+            return obj, None
+        if code == ERROR:
+            return None, obj
+        return None, RuntimeError(
+            f"process worker task failed and its error could not be "
+            f"pickled back: {obj}"
+        )
+
+    def _worker_loop(self, index: int) -> None:
+        try:
+            self._worker_loop_inner(index)
+        finally:
+            # The shepherd thread owns its child's lifetime: reap it on the
+            # way out (shutdown, or interpreter teardown of a daemon thread)
+            # so no worker process outlives the pool.
+            if index < len(self._children):
+                child = self._children[index]
+                if child is not None:
+                    child.stop()
+
+    def _worker_loop_inner(self, index: int) -> None:
         while True:
             with self._lock:
                 while not self._tasks and not self._shutdown:
                     self._not_empty.wait()
                 if not self._tasks:
                     return  # shutdown requested and the queue fully drained
-                handle, fn, args, kwargs = self._tasks.popleft()
+                handle, fn, args, kwargs, payload = self._tasks.popleft()
                 self._active += 1
                 self._not_full.notify()
             start = time.perf_counter()
             error: Optional[BaseException] = None
             value: Any = None
-            try:
-                value = fn(*args, **kwargs)
-            except BaseException as exc:  # noqa: BLE001 — delivered via the handle
-                error = exc
+            if payload is not None:
+                value, error = self._run_in_child(index, payload)
+            else:
+                try:
+                    value = fn(*args, **kwargs)
+                except BaseException as exc:  # noqa: BLE001 — delivered via the handle
+                    error = exc
             elapsed = time.perf_counter() - start
             # Account the task fully (telemetry, then counters) BEFORE
             # resolving the handle: once result() or drain() returns, the
@@ -308,10 +463,25 @@ class WorkerPool:
     def queue_depth(self) -> int:
         return len(self._tasks)
 
+    def child_processes(self) -> List[Any]:
+        """Live child :class:`multiprocessing.Process` objects (process backend).
+
+        Empty on the thread backend; used by orphan-detection tests and
+        operational tooling — never needed for normal task submission.
+        """
+        with self._lock:
+            return [
+                child.process
+                for child in self._children
+                if child is not None and child.alive
+            ]
+
     def stats(self) -> Dict[str, Any]:
         with self._lock:
             return {
                 "name": self.name,
+                "backend": self.backend,
+                "requested_backend": self.requested_backend,
                 "num_workers": self.num_workers,
                 "policy": self.policy,
                 "max_queue_depth": self.max_queue_depth,

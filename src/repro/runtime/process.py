@@ -1,0 +1,63 @@
+"""Child-process side of the process-pool backend.
+
+A process-backend :class:`~repro.runtime.WorkerPool` pairs each parent worker
+thread 1:1 with a forked child process over a duplex pipe.  The parent thread
+runs the exact same admission-control/queue/telemetry loop as the thread
+backend, but instead of calling the task function it ships the (pre-pickled)
+task down the pipe and blocks on the reply — the blocking ``recv`` releases
+the GIL, so N children execute on N cores while the parent threads just
+shepherd results.
+
+Tasks must be picklable (module-level functions + plain-data arguments);
+dataset arrays never ride along — they are published once through a
+:class:`~repro.store.SharedDataPlane` and attached worker-side by mmap.  The
+child is a daemon process: it exits on its pipe's sentinel (graceful
+shutdown), on EOF (parent thread gone), or with the parent process itself —
+no orphaned workers.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Tuple
+
+#: Pipe message asking the child to exit its loop.
+SHUTDOWN_SENTINEL = b"__repro_shutdown__"
+
+#: Reply tags: (OK, value) | (ERROR, exception) | (OPAQUE_ERROR, repr-string).
+OK, ERROR, OPAQUE_ERROR = 0, 1, 2
+
+
+def run_child_loop(conn: Any) -> None:
+    """The child process main: recv task bytes, execute, send the reply.
+
+    Replies that cannot pickle (an exotic exception, an unpicklable return
+    value) degrade to :data:`OPAQUE_ERROR` + ``repr`` instead of wedging the
+    parent thread waiting on the pipe.
+    """
+    try:
+        while True:
+            try:
+                message = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            if message == SHUTDOWN_SENTINEL:
+                break
+            reply: Tuple[int, Any]
+            try:
+                fn, args, kwargs = pickle.loads(message)
+                reply = (OK, fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 — delivered to the caller
+                reply = (ERROR, exc)
+            try:
+                conn.send(reply)
+            except Exception:
+                try:
+                    conn.send((OPAQUE_ERROR, repr(reply[1])))
+                except Exception:  # pragma: no cover - pipe gone, parent will see EOF
+                    break
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass

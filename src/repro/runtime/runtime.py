@@ -43,14 +43,19 @@ class Runtime:
         num_workers: int = 4,
         max_queue_depth: Optional[int] = None,
         policy: str = "block",
+        backend: str = "thread",
     ) -> WorkerPool:
         """The pool registered under ``name``, created on first acquisition.
 
-        Queue bound and policy apply only when this call creates the pool (the
-        first acquisition wins — layers state preferences without fighting
-        over shared settings), but the worker count is a *floor*: an existing
-        pool grows to ``num_workers`` if it is narrower, so a wide fan-out
-        joining a shared pool never silently runs at a narrower width.
+        Queue bound, policy, and backend apply only when this call creates
+        the pool (the first acquisition wins — layers state preferences
+        without fighting over shared settings; components that need true
+        multicore acquire a distinctly-named ``backend="process"`` pool, e.g.
+        ``"shards-proc"``, so they never silently land on a thread pool an
+        earlier layer created), but the worker count is a *floor*: an
+        existing pool grows to ``num_workers`` if it is narrower, so a wide
+        fan-out joining a shared pool never silently runs at a narrower
+        width.
         """
         with self._lock:
             existing = self._pools.get(name)
@@ -63,6 +68,7 @@ class Runtime:
                 max_queue_depth=max_queue_depth,
                 policy=policy,
                 telemetry=self.telemetry,
+                backend=backend,
             )
             self._pools[name] = created
             return created

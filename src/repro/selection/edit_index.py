@@ -1,4 +1,4 @@
-"""Exact edit-distance selection with length and q-gram count filtering.
+"""Exact edit-distance selection with length, signature, and q-gram count filtering.
 
 This mirrors the structure of state-of-the-art string similarity selection:
 cheap filters prune most of the dataset, and the banded verification
@@ -7,12 +7,24 @@ cheap filters prune most of the dataset, and the banded verification
 Filters used (all are necessary conditions for ``ed(x, y) <= θ``):
 
 * length filter: ``| |x| - |y| | <= θ``;
+* signature filter: each record's distinct q-grams are hashed into a 64-bit
+  mask; one edit destroys at most ``q`` q-grams of ``x``, so at most ``q·θ``
+  distinct q-grams of ``x`` can be absent from ``y``.  Every signature bit
+  set for ``x`` but clear for ``y`` certifies at least one absent q-gram, so
+  ``popcount(sig(x) & ~sig(y)) > q·θ`` safely prunes — evaluated as ONE
+  vectorized ``np.bitwise_count`` over all length-surviving candidates, far
+  cheaper than walking the inverted index (hash collisions only weaken the
+  filter, never break it).  The hash is :func:`zlib.crc32`, stable across
+  processes and Python hash-seed randomization, so signatures built in one
+  process (or restored from a snapshot) match query signatures computed in
+  another.
 * count filter on positional-free q-grams: two strings within edit distance θ
   share at least ``max(|x|, |y|) - q + 1 - q·θ`` q-grams.
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import Counter, defaultdict
 from typing import Dict, List, Sequence
 
@@ -29,8 +41,16 @@ def qgrams(text: str, q: int) -> Counter:
     return Counter(text[i : i + q] for i in range(len(text) - q + 1))
 
 
+def qgram_signature(grams: Counter) -> int:
+    """64-bit bitmask of the distinct q-grams, hashed with a stable CRC32."""
+    signature = 0
+    for gram in grams:
+        signature |= 1 << (zlib.crc32(gram.encode("utf-8")) & 63)
+    return signature
+
+
 class QGramEditSelector(SimilaritySelector):
-    """Inverted q-gram index + length filter + banded verification."""
+    """Inverted q-gram index + length/signature filters + banded verification."""
 
     def __init__(self, dataset: Sequence[str], q: int = 2) -> None:
         super().__init__([str(record) for record in dataset])
@@ -39,6 +59,9 @@ class QGramEditSelector(SimilaritySelector):
         self.q = q
         self._grams: List[Counter] = [qgrams(record, q) for record in self._dataset]
         self._lengths: List[int] = [len(record) for record in self._dataset]
+        self._signatures = np.array(
+            [qgram_signature(grams) for grams in self._grams], dtype=np.uint64
+        )
         # Inverted index: q-gram -> record ids containing it.
         self._inverted: Dict[str, List[int]] = defaultdict(list)
         for record_id, grams in enumerate(self._grams):
@@ -55,6 +78,18 @@ class QGramEditSelector(SimilaritySelector):
             candidates.extend(self._by_length.get(length, ()))
         return candidates
 
+    def _signature_survivors(
+        self, query_signature: int, candidates: List[int], threshold: int
+    ) -> List[int]:
+        """Drop candidates whose signature certifies > q·θ absent query grams."""
+        if not candidates:
+            return candidates
+        ids = np.asarray(candidates, dtype=np.int64)
+        missing = np.bitwise_count(
+            np.uint64(query_signature) & ~self._signatures[ids]
+        )
+        return [int(i) for i in ids[missing <= self.q * threshold]]
+
     def query(self, record: str, threshold: float) -> List[int]:
         threshold_int = int(threshold)
         record = str(record)
@@ -62,6 +97,9 @@ class QGramEditSelector(SimilaritySelector):
         query_length = len(record)
 
         length_candidates = self._length_candidates(query_length, threshold_int)
+        length_candidates = self._signature_survivors(
+            qgram_signature(query_grams), length_candidates, threshold_int
+        )
         if not length_candidates:
             return []
 
@@ -104,3 +142,40 @@ class QGramEditSelector(SimilaritySelector):
 
     def rebuild(self, dataset: Sequence) -> "QGramEditSelector":
         return QGramEditSelector(dataset, q=self.q)
+
+    # ------------------------------------------------------------------ #
+    # Shared-data-plane protocol + snapshot hooks
+    # ------------------------------------------------------------------ #
+    def export_arrays(self):
+        """Strings as one UTF-8 byte blob + offsets; workers rebuild the index."""
+        encoded = [record.encode("utf-8") for record in self._dataset]
+        offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+        np.cumsum([len(blob) for blob in encoded], out=offsets[1:])
+        blob = np.frombuffer(b"".join(encoded), dtype=np.uint8) if encoded else np.zeros(
+            0, dtype=np.uint8
+        )
+        return {"blob": blob, "offsets": offsets}, {"q": self.q}
+
+    @classmethod
+    def from_arrays(cls, arrays, meta) -> "QGramEditSelector":
+        blob = np.asarray(arrays["blob"], dtype=np.uint8)
+        offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+        raw = blob.tobytes()
+        records = [
+            raw[offsets[i] : offsets[i + 1]].decode("utf-8")
+            for i in range(offsets.size - 1)
+        ]
+        return cls(records, q=int(meta["q"]))
+
+    # The signature column is derived from the q-gram index — dropped at save
+    # (keeps snapshots at format v2) and recomputed on restore.
+    def __snapshot_state__(self):
+        state = dict(self.__dict__)
+        state.pop("_signatures", None)
+        return state
+
+    def __snapshot_restore__(self, state) -> None:
+        self.__dict__.update(state)
+        self._signatures = np.array(
+            [qgram_signature(grams) for grams in self._grams], dtype=np.uint64
+        )

@@ -80,3 +80,16 @@ class BallIndexEuclideanSelector(SimilaritySelector):
 
     def rebuild(self, dataset: Sequence) -> "BallIndexEuclideanSelector":
         return BallIndexEuclideanSelector(dataset, num_pivots=len(self._pivots) or 16)
+
+    def export_arrays(self):
+        """Publish the float64 matrix; workers rebuild the ball partition.
+
+        Pivot choice is seeded in the worker rebuild, but any pivot set gives
+        exact (hence identical) query answers — pruning is a necessary
+        condition, never the final filter.
+        """
+        return {"matrix": self._matrix}, {"num_pivots": len(self._pivots) or 16}
+
+    @classmethod
+    def from_arrays(cls, arrays, meta) -> "BallIndexEuclideanSelector":
+        return cls(np.asarray(arrays["matrix"]), num_pivots=int(meta["num_pivots"]))

@@ -18,12 +18,17 @@ from __future__ import annotations
 
 from collections import defaultdict
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..distances.hamming import pack_bits, packed_hamming_distances
-from .base import SimilaritySelector
+from ..distances.hamming import (
+    pack_bits,
+    pack_bits_words,
+    packed_hamming_distances_words,
+    unpack_bits,
+)
+from .base import PlaneExport, SimilaritySelector
 
 
 class PackedHammingSelector(SimilaritySelector):
@@ -34,25 +39,52 @@ class PackedHammingSelector(SimilaritySelector):
         matrix = np.stack(self._dataset) if self._dataset else np.zeros((0, 1), dtype=np.uint8)
         self._dimension = matrix.shape[1] if matrix.size else 0
         self._packed = pack_bits(matrix) if matrix.size else np.zeros((0, 1), dtype=np.uint8)
+        # uint64 word view cached once: every query scans words, not bytes.
+        self._packed64 = pack_bits_words(self._packed)
 
     def query(self, record, threshold: float) -> List[int]:
         if len(self._dataset) == 0:
             return []
-        query_packed = pack_bits(np.asarray(record, dtype=np.uint8))[0]
-        distances = packed_hamming_distances(query_packed, self._packed)
+        distances = self.distances(record)
         return [int(i) for i in np.nonzero(distances <= int(threshold))[0]]
 
     def cardinality(self, record, threshold: float) -> int:
         if len(self._dataset) == 0:
             return 0
-        query_packed = pack_bits(np.asarray(record, dtype=np.uint8))[0]
-        distances = packed_hamming_distances(query_packed, self._packed)
+        distances = self.distances(record)
         return int(np.count_nonzero(distances <= int(threshold)))
 
     def distances(self, record) -> np.ndarray:
         """All Hamming distances from ``record`` to the dataset (used by workloads)."""
-        query_packed = pack_bits(np.asarray(record, dtype=np.uint8))[0]
-        return packed_hamming_distances(query_packed, self._packed)
+        query_words = pack_bits_words(pack_bits(np.asarray(record, dtype=np.uint8)))[0]
+        return packed_hamming_distances_words(query_words, self._packed64)
+
+    def export_arrays(self) -> PlaneExport:
+        """Publish the packed matrix; workers rebuild from unpacked rows."""
+        return {"packed": self._packed}, {
+            "dimension": int(self._dimension),
+            "count": len(self._dataset),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> "PackedHammingSelector":
+        if not int(meta["count"]):
+            return cls([])
+        return cls(unpack_bits(np.asarray(arrays["packed"]), int(meta["dimension"])))
+
+    # Snapshot hooks: the uint64 word cache is derived from the packed matrix
+    # — dropped at save (keeps snapshots at format v2) and recomputed on
+    # restore.
+    def __snapshot_state__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_packed64", None)
+        return state
+
+    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._packed64 = pack_bits_words(self._packed)
 
     def cardinality_curve(self, record, thresholds) -> np.ndarray:
         """One packed XOR+popcount scan answers every threshold."""
@@ -109,6 +141,7 @@ class PigeonholeHammingSelector(SimilaritySelector):
         self._dimension = self._matrix.shape[1] if self._matrix.size else 0
         self.parts = split_dimensions(self._dimension, part_size)
         self._packed = pack_bits(self._matrix) if self._matrix.size else np.zeros((0, 1), dtype=np.uint8)
+        self._packed64 = pack_bits_words(self._packed)
         # One inverted index per part: bit pattern (bytes) -> list of record ids.
         self._part_indexes: List[Dict[bytes, List[int]]] = []
         for start, stop in self.parts:
@@ -186,8 +219,10 @@ class PigeonholeHammingSelector(SimilaritySelector):
         candidate_ids = self.candidates(record, allocation)
         if candidate_ids.size == 0:
             return [], 0
-        query_packed = pack_bits(record)[0]
-        distances = packed_hamming_distances(query_packed, self._packed[candidate_ids])
+        query_words = pack_bits_words(pack_bits(record))[0]
+        distances = packed_hamming_distances_words(
+            query_words, self._packed64[candidate_ids]
+        )
         matches = candidate_ids[distances <= threshold_int]
         return sorted(int(i) for i in matches), int(candidate_ids.size)
 
@@ -196,8 +231,8 @@ class PigeonholeHammingSelector(SimilaritySelector):
         thresholds = np.asarray(thresholds, dtype=np.float64)
         if thresholds.size == 0 or len(self._dataset) == 0:
             return np.zeros(thresholds.size, dtype=np.int64)
-        query_packed = pack_bits(np.asarray(record, dtype=np.uint8))[0]
-        distances = packed_hamming_distances(query_packed, self._packed)
+        query_words = pack_bits_words(pack_bits(np.asarray(record, dtype=np.uint8)))[0]
+        distances = packed_hamming_distances_words(query_words, self._packed64)
         return np.count_nonzero(
             distances[None, :] <= thresholds.astype(np.int64)[:, None], axis=1
         ).astype(np.int64)
@@ -209,3 +244,26 @@ class PigeonholeHammingSelector(SimilaritySelector):
     def rebuild(self, dataset: Sequence) -> "PigeonholeHammingSelector":
         part_size = self.parts[0][1] - self.parts[0][0] if self.parts else 16
         return PigeonholeHammingSelector(dataset, part_size=part_size)
+
+    def export_arrays(self) -> PlaneExport:
+        """Publish the raw 0/1 matrix; workers rebuild the part indexes."""
+        return {"matrix": self._matrix}, {
+            "part_size": self.parts[0][1] - self.parts[0][0] if self.parts else 16,
+            "count": len(self._dataset),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+    ) -> "PigeonholeHammingSelector":
+        records = list(np.asarray(arrays["matrix"])) if int(meta["count"]) else []
+        return cls(records, part_size=int(meta["part_size"]))
+
+    def __snapshot_state__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_packed64", None)
+        return state
+
+    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._packed64 = pack_bits_words(self._packed)

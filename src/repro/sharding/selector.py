@@ -8,6 +8,16 @@ back to global record ids and merged in ascending order.  Because every shard
 is exact and the merge loses nothing, results are bit-identical to running
 the unsharded selector over the full dataset, for any partitioning.
 
+With ``backend="process"`` the fan-out escapes the GIL entirely: each shard's
+index arrays are published once through a
+:class:`~repro.store.SharedDataPlane` and every query ships only the op +
+arguments to forked worker processes, which attach the shard's arrays as
+read-only mmap views and rebuild the selector exactly once per (shard,
+process).  Results stay bit-identical to the thread backend — same selector
+classes, same kernels, only the address space differs.  Shards whose selector
+cannot export a plane (``export_arrays() is None``) silently keep the thread
+fan-out, as do platforms without ``fork``.
+
 Updates route the same way (§8 per shard, not globally): an insert/delete
 expressed against *global* record ids is translated into one local operation
 per touched shard (:meth:`ShardedSelector.route_operation`), so only the
@@ -24,8 +34,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..datasets.updates import UpdateOperation, apply_operation
-from ..runtime import Runtime, default_runtime
+from ..runtime import POOL_BACKENDS, Runtime, default_runtime
 from ..selection.base import SimilaritySelector
+from ..store.plane import PlaneHandle, SharedDataPlane, cached_rebuild
 from .partitioner import Partitioner, ShardAssignment, get_partitioner
 
 #: Builds the exact selector for one shard's records.
@@ -34,6 +45,46 @@ SelectorFactory = Callable[[Sequence], SimilaritySelector]
 #: Runtime pool name every sharded selector fans out on — selectors sharing a
 #: runtime share these workers instead of spawning one executor each.
 SHARD_POOL = "shards"
+
+#: Distinct pool name for the process-backend fan-out.  Pool configuration is
+#: first-acquisition-wins, so the process path must never race a component
+#: that already created ``"shards"`` as a thread pool.
+SHARD_PROCESS_POOL = "shards-proc"
+
+
+def _plane_shard_task(
+    handle: PlaneHandle, selector_cls: type, op: str, payload: Tuple
+) -> Any:
+    """One shard's work inside a worker process.
+
+    Module-level (picklable) by construction.  The selector is rebuilt from
+    the plane's mmap'd arrays at most once per (shard, process) via
+    :func:`~repro.store.cached_rebuild`; after that warm-up every task is
+    pure compute over shared pages.
+    """
+    selector = cached_rebuild(
+        handle,
+        selector_cls.__qualname__,
+        lambda arrays, meta: selector_cls.from_arrays(arrays, meta),
+    )
+    if op == "query":
+        record, threshold = payload
+        return selector.query(record, threshold)
+    if op == "query_many":
+        records, thresholds = payload
+        return [
+            selector.query(record, float(threshold))
+            for record, threshold in zip(records, thresholds)
+        ]
+    if op == "cardinality":
+        record, threshold = payload
+        return selector.cardinality(record, threshold)
+    if op == "cardinality_curve":
+        record, thresholds = payload
+        return selector.cardinality_curve(
+            record, np.asarray(thresholds, dtype=np.float64)
+        )
+    raise ValueError(f"unknown shard op {op!r}")
 
 
 @dataclass
@@ -72,8 +123,13 @@ class ShardedSelector(SimilaritySelector):
         partitioner: Union[str, Partitioner, None] = None,
         parallel: bool = True,
         runtime: Optional[Runtime] = None,
+        backend: str = "thread",
     ) -> None:
         super().__init__(dataset)
+        if backend not in POOL_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {POOL_BACKENDS}"
+            )
         self.selector_factory = selector_factory
         if isinstance(partitioner, Partitioner):
             if num_shards is not None and int(num_shards) != partitioner.num_shards:
@@ -100,6 +156,12 @@ class ShardedSelector(SimilaritySelector):
         #: — an engine injects its own so serving, sharding, and pipelined
         #: execution share one set of workers.
         self.runtime = runtime
+        #: Requested fan-out backend; the effective one degrades to threads
+        #: per query when a shard cannot publish a plane (see _shard_planes).
+        self.backend = backend
+        self._plane: Optional[SharedDataPlane] = None
+        self._shard_planes: Optional[List[Tuple[PlaneHandle, type]]] = None
+        self._plane_disabled = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -137,6 +199,68 @@ class ShardedSelector(SimilaritySelector):
         pool = runtime.pool(SHARD_POOL, num_workers=self.num_shards)
         return pool.map(task, self._shards)
 
+    def _ensure_planes(self) -> Optional[List[Tuple[PlaneHandle, type]]]:
+        """Publish every shard's arrays once; ``None`` = thread fallback.
+
+        Publication is all-or-nothing: one shard that cannot export arrays
+        (e.g. a Jaccard selector over non-integer tokens) disables the
+        process path for the whole selector — half-process/half-thread
+        fan-out would serialize on the slower half anyway.  The outcome is
+        remembered until the shards change (``apply_routed`` resets it).
+        """
+        # Unlike the thread path there is no single-shard shortcut: one shard
+        # in one worker process still moves the scan off the caller's core
+        # (and keeps 1-worker measurements honest about pipe overhead).
+        if self.backend != "process" or not self.parallel:
+            return None
+        if self._plane_disabled:
+            return None
+        if self._shard_planes is not None:
+            return self._shard_planes
+        exports = []
+        for shard in self._shards:
+            exported = shard.export_arrays()
+            if exported is None:
+                self._plane_disabled = True
+                return None
+            exports.append((type(shard), exported))
+        if self._plane is None:
+            self._plane = SharedDataPlane()
+        self._shard_planes = [
+            (self._plane.publish(arrays, meta), selector_cls)
+            for selector_cls, (arrays, meta) in exports
+        ]
+        return self._shard_planes
+
+    def _invalidate_planes(self) -> None:
+        """Forget published shard planes after any shard is replaced.
+
+        The payload files stay on disk until the plane is cleaned up —
+        worker processes may still hold mmap views over them, and unchanged
+        shards republish to the very same content-named file for free.
+        """
+        self._shard_planes = None
+        self._plane_disabled = False
+
+    def _fan_out(
+        self, op: str, payload: Tuple, task: Callable[[SimilaritySelector], Any]
+    ) -> List[Any]:
+        """Run one op on every shard: process plane fan-out when available,
+        the thread (or serial) path otherwise.  Both execute the same
+        selector code, so their results are interchangeable bit for bit."""
+        planes = self._ensure_planes()
+        if planes is None:
+            return self._map_shards(task)
+        runtime = self.runtime if self.runtime is not None else default_runtime()
+        pool = runtime.pool(
+            SHARD_PROCESS_POOL, num_workers=self.num_shards, backend="process"
+        )
+        handles = [
+            pool.submit(_plane_shard_task, handle, selector_cls, op, payload)
+            for handle, selector_cls in planes
+        ]
+        return [handle.result() for handle in handles]
+
     def _merge(self, local_matches: Sequence[Sequence[int]]) -> np.ndarray:
         """Translate per-shard local match ids to one sorted global id array."""
         parts = [
@@ -159,7 +283,9 @@ class ShardedSelector(SimilaritySelector):
         self, record: Any, threshold: float
     ) -> Tuple[List[int], List[int]]:
         """Global match ids plus the per-shard match counts (executor telemetry)."""
-        local_matches = self._map_shards(lambda shard: shard.query(record, threshold))
+        local_matches = self._fan_out(
+            "query", (record, threshold), lambda shard: shard.query(record, threshold)
+        )
         merged = self._merge(local_matches)
         return [int(i) for i in merged], [len(matches) for matches in local_matches]
 
@@ -170,11 +296,13 @@ class ShardedSelector(SimilaritySelector):
         amortizing the thread dispatch over every query."""
         if len(records) != len(thresholds):
             raise ValueError("records and thresholds must have the same length")
-        per_shard = self._map_shards(
+        per_shard = self._fan_out(
+            "query_many",
+            (list(records), list(thresholds)),
             lambda shard: [
                 shard.query(record, float(threshold))
                 for record, threshold in zip(records, thresholds)
-            ]
+            ],
         )
         return [
             [int(i) for i in self._merge([matches[q] for matches in per_shard])]
@@ -182,7 +310,15 @@ class ShardedSelector(SimilaritySelector):
         ]
 
     def cardinality(self, record: Any, threshold: float) -> int:
-        return int(sum(self._map_shards(lambda shard: shard.cardinality(record, threshold))))
+        return int(
+            sum(
+                self._fan_out(
+                    "cardinality",
+                    (record, threshold),
+                    lambda shard: shard.cardinality(record, threshold),
+                )
+            )
+        )
 
     def cardinality_curve(self, record: Any, thresholds: Sequence[float]) -> np.ndarray:
         """Sum of per-shard exact curves — exact, and (like any sum of
@@ -190,7 +326,11 @@ class ShardedSelector(SimilaritySelector):
         thresholds = np.asarray(thresholds, dtype=np.float64)
         if thresholds.size == 0:
             return np.zeros(0, dtype=np.int64)
-        curves = self._map_shards(lambda shard: shard.cardinality_curve(record, thresholds))
+        curves = self._fan_out(
+            "cardinality_curve",
+            (record, thresholds),
+            lambda shard: shard.cardinality_curve(record, thresholds),
+        )
         return np.sum(curves, axis=0).astype(np.int64)
 
     def rebuild(self, dataset: Sequence) -> "ShardedSelector":
@@ -200,6 +340,7 @@ class ShardedSelector(SimilaritySelector):
             partitioner=self.partitioner,
             parallel=self.parallel,
             runtime=self.runtime,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -220,15 +361,26 @@ class ShardedSelector(SimilaritySelector):
         The ``runtime`` reference persists as an object (its own hooks drop
         the live pools), preserving runtime-sharing identity across restore:
         an engine and its sharded selectors restore onto ONE runtime, and the
-        shard pool is rebuilt lazily on the first parallel fan-out.
+        shard pool is rebuilt lazily on the first parallel fan-out.  Plane
+        state (temp files + handles into them) is likewise dropped — the
+        restored selector republishes lazily on its first process fan-out.
         """
         state = dict(self.__dict__)
         state.pop("selector_factory", None)
+        state["_plane"] = None
+        state["_shard_planes"] = None
+        state["_plane_disabled"] = False
         return state
 
     def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
         self.selector_factory = self._rebuild_shard
+        # Selectors saved before the process backend existed restore without
+        # the plane fields; default them.
+        self.__dict__.setdefault("backend", "thread")
+        self.__dict__.setdefault("_plane", None)
+        self.__dict__.setdefault("_shard_planes", None)
+        self.__dict__.setdefault("_plane_disabled", False)
 
     # ------------------------------------------------------------------ #
     # Update routing (the per-shard §8 path)
@@ -320,6 +472,7 @@ class ShardedSelector(SimilaritySelector):
             self._shards[shard_id] = shard
         self._assignment = new_assignment
         self._dataset = list(routing.new_dataset)
+        self._invalidate_planes()
 
     def apply_operation(self, operation: UpdateOperation) -> ShardRouting:
         """Route and commit a global update in one call (no external managers)."""

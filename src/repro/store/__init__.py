@@ -16,16 +16,23 @@ replica) resumes serving and incremental retraining instead of rebuilding.
 * :mod:`repro.store.snapshot` — ``save_engine``/``load_engine`` and the
   generic component facades;
 * :mod:`repro.store.replicas` — :class:`ReplicaSet`, N read replicas spawned
-  from one snapshot with deterministic routing.
+  from one snapshot with deterministic routing;
+* :mod:`repro.store.plane` — :class:`SharedDataPlane`, the zero-copy bridge
+  to the process-pool runtime backend: arrays published once to a
+  content-named payload, attached worker-side as read-only mmap views.
 """
 
 from .format import (
     FORMAT_NAME,
     FORMAT_VERSION,
+    LazyArrayReader,
+    MmapArrayReader,
     SnapshotError,
     SnapshotFormatError,
     SnapshotManifest,
+    load_arrays,
 )
+from .plane import PlaneHandle, SharedDataPlane, attach_plane, cached_rebuild
 from .replicas import ReplicaSet
 from .snapshot import (
     SnapshotInfo,
@@ -51,4 +58,11 @@ __all__ = [
     "load_component",
     "inspect_snapshot",
     "ReplicaSet",
+    "LazyArrayReader",
+    "MmapArrayReader",
+    "load_arrays",
+    "PlaneHandle",
+    "SharedDataPlane",
+    "attach_plane",
+    "cached_rebuild",
 ]

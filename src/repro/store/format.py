@@ -24,7 +24,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,6 +57,18 @@ class SnapshotFormatError(SnapshotError):
 
 def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
+
+
+def _sha256_file(path: Path, chunk_bytes: int = 1 << 20) -> str:
+    """Streaming SHA-256 of a file: O(chunk) memory however large the payload."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        while True:
+            chunk = stream.read(chunk_bytes)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _little_endian(array: np.ndarray) -> np.ndarray:
@@ -186,6 +198,154 @@ class ArrayReader:
         array = flat.reshape(entry.shape).astype(dtype.newbyteorder("="), copy=True)
         self._memo[index] = array
         return array
+
+
+def _entry_dtype(entry: ArrayEntry, index: int) -> np.dtype:
+    """The entry's dtype, with its recorded byte budget cross-checked."""
+    dtype = np.dtype(entry.dtype)
+    expected = dtype.itemsize * int(np.prod(entry.shape, dtype=np.int64))
+    if expected != entry.nbytes:
+        raise SnapshotFormatError(
+            f"array {index}: dtype {entry.dtype} x shape {entry.shape} "
+            f"needs {expected} bytes but entry records {entry.nbytes}"
+        )
+    return dtype
+
+
+class LazyArrayReader:
+    """Decodes arrays straight from the payload *file*, one span at a time.
+
+    Drop-in for :class:`ArrayReader` (same ``get`` contract, same memoization)
+    but never materializes the whole payload: each array is read with one
+    ``seek(offset)`` + ``read(nbytes)`` from the manifest entry and verified
+    against its per-array SHA-256 — every byte handed out is checksummed,
+    without the monolithic ``f.read()`` of :func:`read_snapshot`.  Restored
+    arrays are fresh, writeable, native-byte-order copies.
+    """
+
+    def __init__(self, payload_path: PathLike, entries: Sequence[ArrayEntry]) -> None:
+        self._path = Path(payload_path)
+        self._entries = list(entries)
+        self._memo: Dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, index: int) -> np.ndarray:
+        if index in self._memo:
+            return self._memo[index]
+        try:
+            entry = self._entries[index]
+        except IndexError as error:
+            raise SnapshotFormatError(f"array index {index} out of range") from error
+        try:
+            with open(self._path, "rb") as stream:
+                stream.seek(entry.offset)
+                data = stream.read(entry.nbytes)
+        except OSError as error:
+            raise SnapshotFormatError(
+                f"payload {self._path.name} vanished while reading array {index} "
+                "(concurrent re-save?); retry the load"
+            ) from error
+        if len(data) != entry.nbytes:
+            raise SnapshotFormatError(
+                f"array {index} is truncated: expected {entry.nbytes} bytes at "
+                f"offset {entry.offset}, payload holds {len(data)}"
+            )
+        if _sha256(data) != entry.sha256:
+            raise SnapshotFormatError(f"array {index} failed its SHA-256 checksum")
+        dtype = _entry_dtype(entry, index)
+        flat = np.frombuffer(data, dtype=dtype)
+        array = flat.reshape(entry.shape).astype(dtype.newbyteorder("="), copy=True)
+        self._memo[index] = array
+        return array
+
+
+class MmapArrayReader:
+    """Zero-copy arrays: read-only ``np.memmap`` views over the payload file.
+
+    The whole payload is checksum-verified ONCE at open (streaming hash, O(1)
+    memory) — a loud :class:`SnapshotFormatError` on mismatch, exactly like
+    the eager reader.  ``get`` then returns each array as a read-only view
+    sliced out of one shared memory map: no per-array allocation, no copies,
+    and N readers over the same file share one physical copy of the pages.
+    Views keep the pinned little-endian dtype (native on little-endian
+    machines; numpy transparently handles the swapped order elsewhere).
+    Pass ``verified=True`` when the payload hash was already checked — e.g.
+    spawning many readers over one file — to skip re-hashing.
+    """
+
+    def __init__(
+        self,
+        payload_path: PathLike,
+        entries: Sequence[ArrayEntry],
+        payload_sha256: Optional[str] = None,
+        verified: bool = False,
+    ) -> None:
+        self._path = Path(payload_path)
+        self._entries = list(entries)
+        if not verified:
+            if payload_sha256 is None:
+                raise ValueError("payload_sha256 is required unless verified=True")
+            actual = _sha256_file(self._path)
+            if actual != payload_sha256:
+                raise SnapshotFormatError(
+                    f"payload {self._path.name} failed its SHA-256 checksum"
+                )
+        self._mmap = np.memmap(self._path, dtype=np.uint8, mode="r")
+        self._memo: Dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, index: int) -> np.ndarray:
+        if index in self._memo:
+            return self._memo[index]
+        try:
+            entry = self._entries[index]
+        except IndexError as error:
+            raise SnapshotFormatError(f"array index {index} out of range") from error
+        if entry.offset + entry.nbytes > self._mmap.size:
+            raise SnapshotFormatError(
+                f"array {index} is truncated: expected {entry.nbytes} bytes at "
+                f"offset {entry.offset}, payload holds {self._mmap.size - entry.offset}"
+            )
+        dtype = _entry_dtype(entry, index)
+        span = self._mmap[entry.offset : entry.offset + entry.nbytes]
+        array = span.view(dtype).reshape(entry.shape)
+        self._memo[index] = array
+        return array
+
+
+def load_arrays(
+    path: PathLike,
+    indices: Optional[Sequence[int]] = None,
+    mmap: bool = True,
+) -> List[np.ndarray]:
+    """Load a snapshot's array table without decoding its object graph.
+
+    With ``mmap=True`` (the default) the arrays come back as **read-only
+    ``np.memmap`` views** over the content-named ``arrays-<sha12>.bin``
+    payload: the file is checksum-verified once at open (streaming, O(1)
+    memory, loud :class:`SnapshotFormatError` on mismatch) and each entry is
+    then a zero-copy slice — loading allocates O(metadata), not O(arrays),
+    and every process mapping the same snapshot shares one physical copy of
+    the pages.  With ``mmap=False`` each requested array is an independent
+    seek+read, per-array checksummed, returned as a writeable native copy.
+
+    ``indices`` selects a subset of the manifest array table (default: all).
+    """
+    manifest = read_manifest(path)
+    payload_path = Path(path) / manifest.payload_file
+    reader: Any
+    if mmap:
+        reader = MmapArrayReader(
+            payload_path, manifest.arrays, payload_sha256=manifest.payload_sha256
+        )
+    else:
+        reader = LazyArrayReader(payload_path, manifest.arrays)
+    selected = range(len(manifest.arrays)) if indices is None else indices
+    return [reader.get(int(index)) for index in selected]
 
 
 @dataclass

@@ -18,6 +18,14 @@ is snapshotted and respawned (or rolled, one replica at a time).  The routing
 layer exports per-replica query counts through the same
 :class:`~repro.serving.ServingTelemetry` machinery the serving layer uses, so
 load balance is inspectable exactly like endpoint traffic.
+
+With ``backend="process"`` (:meth:`ReplicaSet.from_snapshot`) the replicas
+live in forked worker processes instead of the parent: the parent keeps ONE
+mmap'd engine for planning/explain, and each worker lazily mmap-loads its own
+engine from the same snapshot on its first share — N processes, one physical
+copy of the array pages, true multicore execution.  Replica ids become pure
+routing labels (every worker's engine is a restore of the same snapshot, so
+answers are identical wherever a share lands).
 """
 
 from __future__ import annotations
@@ -27,15 +35,33 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..runtime import Runtime
+from ..runtime import POOL_BACKENDS, Runtime, fork_available
 from ..serving import ServingTelemetry
 from .format import PathLike
-from .snapshot import load_engine_replicas
+from .snapshot import load_engine, load_engine_replicas
 
 ROUTING_POLICIES = ("round_robin", "least_loaded", "random")
 
 #: Runtime pool name replica fan-out runs on.
 REPLICA_POOL = "replicas"
+
+#: Distinct pool name for the process-backend fan-out (pool configuration is
+#: first-acquisition-wins; never contend with a thread ``"replicas"`` pool).
+REPLICA_PROCESS_POOL = "replicas-proc"
+
+#: Worker-process engine cache: snapshot path -> mmap-restored engine.  Each
+#: worker loads an engine at most once per snapshot; the arrays are read-only
+#: memmap views, so every worker on the box shares the payload pages.
+_PROCESS_ENGINES: Dict[str, Any] = {}
+
+
+def _execute_replica_share(snapshot_path: str, queries: List[Any]) -> List[Any]:
+    """One replica share inside a worker process (module-level: picklable)."""
+    engine = _PROCESS_ENGINES.get(snapshot_path)
+    if engine is None:
+        engine = load_engine(snapshot_path, mmap=True)
+        _PROCESS_ENGINES[snapshot_path] = engine
+    return engine.execute_many(queries)
 
 
 class ReplicaSet:
@@ -47,6 +73,9 @@ class ReplicaSet:
         routing: str = "round_robin",
         seed: int = 0,
         runtime: Optional[Runtime] = None,
+        backend: str = "thread",
+        snapshot_path: Optional[str] = None,
+        num_replicas: Optional[int] = None,
     ) -> None:
         replicas = list(replicas)
         if not replicas:
@@ -55,11 +84,32 @@ class ReplicaSet:
             raise ValueError(
                 f"unknown routing policy {routing!r}; choose from {ROUTING_POLICIES}"
             )
+        if backend not in POOL_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {POOL_BACKENDS}"
+            )
+        if backend == "process" and snapshot_path is None:
+            raise ValueError(
+                "backend='process' needs the snapshot path workers load their "
+                "engines from; build the set with ReplicaSet.from_snapshot"
+            )
         self.replicas = replicas
         self.routing = routing
         self.seed = int(seed)
+        self.backend = backend
+        self.snapshot_path = None if snapshot_path is None else str(snapshot_path)
+        #: Routing targets.  Thread mode: the in-process engines.  Process
+        #: mode: worker slots (the parent holds one engine for planning).
+        self.num_replicas = len(replicas) if num_replicas is None else int(num_replicas)
+        if self.num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if backend == "thread" and self.num_replicas != len(replicas):
+            raise ValueError(
+                f"num_replicas={self.num_replicas} disagrees with the "
+                f"{len(replicas)} supplied replicas"
+            )
         self.telemetry = ServingTelemetry()
-        self._counts = [0] * len(replicas)
+        self._counts = [0] * self.num_replicas
         self._cursor = 0
         self._rng = np.random.default_rng(self.seed)
         #: The execution substrate replica fan-out runs on.  Default: a
@@ -76,16 +126,36 @@ class ReplicaSet:
         routing: str = "round_robin",
         seed: int = 0,
         runtime: Optional[Runtime] = None,
+        backend: str = "thread",
+        mmap: bool = False,
     ) -> "ReplicaSet":
         """Spawn ``num_replicas`` independent engines from one snapshot.
 
         The snapshot is read and checksum-verified once; each replica decodes
         its own object graph from the shared bytes (no objects shared).
+        ``mmap=True`` restores replica arrays as read-only views over one
+        mapped payload (O(metadata) per extra replica).  ``backend="process"``
+        skips restoring in-process engines beyond one planning copy: shares
+        execute in forked workers that mmap-load the snapshot themselves.  On
+        platforms without ``fork`` it silently degrades to the thread backend
+        (engines restored in-process), same results, no multicore.
         """
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
+        if backend == "process" and not fork_available():
+            backend = "thread"
+        if backend == "process":
+            return cls(
+                [load_engine(path, mmap=True)],
+                routing=routing,
+                seed=seed,
+                runtime=runtime,
+                backend="process",
+                snapshot_path=str(path),
+                num_replicas=num_replicas,
+            )
         return cls(
-            load_engine_replicas(path, num_replicas),
+            load_engine_replicas(path, num_replicas, mmap=mmap),
             routing=routing,
             seed=seed,
             runtime=runtime,
@@ -95,18 +165,18 @@ class ReplicaSet:
     # Routing
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self.replicas)
+        return self.num_replicas
 
     def _pick(self) -> int:
         """Choose a replica for one query and account for it immediately, so
         ``least_loaded`` balances within a batch, not only across batches."""
         if self.routing == "round_robin":
             index = self._cursor
-            self._cursor = (self._cursor + 1) % len(self.replicas)
+            self._cursor = (self._cursor + 1) % self.num_replicas
         elif self.routing == "least_loaded":
             index = int(np.argmin(self._counts))  # argmin ties → lowest index
         else:  # random, seeded
-            index = int(self._rng.integers(0, len(self.replicas)))
+            index = int(self._rng.integers(0, self.num_replicas))
         self._counts[index] += 1
         return index
 
@@ -150,12 +220,37 @@ class ReplicaSet:
                 return index, positions, error, time.perf_counter() - start
             return index, positions, answered, time.perf_counter() - start
 
-        if len(shares) <= 1:
+        if self.backend == "process":
+            # Each share ships (snapshot path, queries) to a forked worker;
+            # the worker mmap-loads the engine once and executes on its own
+            # core.  Elapsed includes queue wait — the latency the caller saw.
+            pool = self.runtime.pool(
+                REPLICA_PROCESS_POOL,
+                num_workers=self.num_replicas,
+                backend="process",
+            )
+            submitted = []
+            for index, positions in shares:
+                start = time.perf_counter()
+                handle = pool.submit(
+                    _execute_replica_share,
+                    self.snapshot_path,
+                    [queries[i] for i in positions],
+                )
+                submitted.append((index, positions, start, handle))
+            outcomes = []
+            for index, positions, start, handle in submitted:
+                try:
+                    answered: Any = handle.result()
+                except Exception as error:  # accounted below like thread errors
+                    answered = error
+                outcomes.append((index, positions, answered, time.perf_counter() - start))
+        elif len(shares) <= 1:
             outcomes = [run(share) for share in shares]
         else:
             # Shared runtime pool, rebuilt lazily after a restore (``run``
             # returns errors as values, so map() itself never raises here).
-            pool = self.runtime.pool(REPLICA_POOL, num_workers=len(self.replicas))
+            pool = self.runtime.pool(REPLICA_POOL, num_workers=self.num_replicas)
             outcomes = pool.map(run, shares)
         # Telemetry is recorded on the caller's thread so routing counters
         # and telemetry move together.  A failing share fails
@@ -187,6 +282,14 @@ class ReplicaSet:
         next batched execute)."""
         return dict(self.__dict__)
 
+    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        # Sets saved before the process backend existed restore without the
+        # newer routing fields; default them to the historical behaviour.
+        self.__dict__.setdefault("backend", "thread")
+        self.__dict__.setdefault("snapshot_path", None)
+        self.__dict__.setdefault("num_replicas", len(self.replicas))
+
     # ------------------------------------------------------------------ #
     # Writes are refused
     # ------------------------------------------------------------------ #
@@ -212,7 +315,8 @@ class ReplicaSet:
         return {
             "routing": self.routing,
             "seed": self.seed,
-            "replicas": len(self.replicas),
+            "replicas": self.num_replicas,
+            "backend": self.backend,
             "query_counts": self.query_counts(),
             "telemetry": self.telemetry.snapshot(),
         }

@@ -25,6 +25,8 @@ from .format import (
     FORMAT_VERSION,
     MANIFEST_FILENAME,
     ArrayReader,
+    LazyArrayReader,
+    MmapArrayReader,
     PathLike,
     SnapshotFormatError,
     SnapshotManifest,
@@ -87,20 +89,41 @@ def save_component(
     )
 
 
-def _decode(manifest: SnapshotManifest, payload: bytes) -> Any:
-    """One independent restore of a (verified) manifest + payload pair."""
-    reader = ArrayReader(payload, manifest.arrays)
+def _decode(manifest: SnapshotManifest, reader: Any) -> Any:
+    """One independent restore of a manifest + (any-flavour) array reader."""
     return GraphDecoder(manifest.objects, reader).decode(manifest.root)
 
 
-def load_component(path: PathLike, expected_kind: Optional[str] = None) -> Any:
-    """Restore the object graph saved at ``path`` (checksums verified)."""
-    manifest, payload = read_snapshot(path)
+def load_component(
+    path: PathLike, expected_kind: Optional[str] = None, mmap: bool = False
+) -> Any:
+    """Restore the object graph saved at ``path`` (checksums verified).
+
+    The payload is NOT slurped with one monolithic read: each array is
+    fetched by seek + length from its manifest entry and verified against its
+    per-array SHA-256 (every decoded byte is checksummed; arrays the graph
+    never references are never read).  With ``mmap=True`` the arrays restore
+    as **read-only** ``np.memmap`` views instead of copies — the whole
+    payload is streaming-checksummed once at open, loading allocates
+    O(metadata) rather than O(arrays), and concurrent loads of one snapshot
+    share physical pages.  Mmap'd restores are for read-path serving
+    (replicas, process-pool workers); anything that mutates restored arrays
+    in place — retraining, optimizer steps — must use ``mmap=False``, and
+    will fail loudly (not corrupt silently) if handed a view.
+    """
+    manifest = read_manifest(path)
     if expected_kind is not None and manifest.kind != expected_kind:
         raise SnapshotFormatError(
             f"snapshot at {path} holds a {manifest.kind!r}, expected {expected_kind!r}"
         )
-    return _decode(manifest, payload)
+    payload_path = Path(path) / manifest.payload_file
+    if mmap:
+        reader: Any = MmapArrayReader(
+            payload_path, manifest.arrays, payload_sha256=manifest.payload_sha256
+        )
+    else:
+        reader = LazyArrayReader(payload_path, manifest.arrays)
+    return _decode(manifest, reader)
 
 
 def save_engine(engine: Any, path: PathLike) -> SnapshotInfo:
@@ -133,26 +156,57 @@ def _check_engine(engine: Any, path: PathLike) -> Any:
     return engine
 
 
-def load_engine(path: PathLike) -> Any:
-    """Restore an engine saved by :func:`save_engine` (warm-start restore)."""
-    return _check_engine(load_component(path, expected_kind=ENGINE_KIND), path)
+def load_engine(path: PathLike, mmap: bool = False) -> Any:
+    """Restore an engine saved by :func:`save_engine` (warm-start restore).
+
+    ``mmap=True`` restores every persisted array as a read-only memmap view
+    (O(metadata) allocation; see :func:`load_component`) — the zero-copy
+    load for read-only serving replicas.
+    """
+    return _check_engine(
+        load_component(path, expected_kind=ENGINE_KIND, mmap=mmap), path
+    )
 
 
-def load_engine_replicas(path: PathLike, count: int) -> list:
+def load_engine_replicas(path: PathLike, count: int, mmap: bool = False) -> list:
     """Restore ``count`` fully independent engines from ONE snapshot read.
 
-    The payload is read from disk and checksum-verified once; each replica
-    then decodes through its own :class:`ArrayReader`/:class:`GraphDecoder`,
-    so replicas share NO objects (down to the arrays) and never contend.
+    The payload is checksum-verified once; each replica then decodes through
+    its own reader/:class:`GraphDecoder`, so replicas share NO objects (down
+    to the arrays) and never contend.  With ``mmap=True`` each replica's
+    arrays are read-only views over the same mapped file — N replicas, one
+    physical copy of the payload pages, zero mutable sharing.
     """
     if count <= 0:
         raise ValueError("count must be positive")
+    if mmap:
+        manifest = read_manifest(path)
+        if manifest.kind != ENGINE_KIND:
+            raise SnapshotFormatError(
+                f"snapshot at {path} holds a {manifest.kind!r}, expected {ENGINE_KIND!r}"
+            )
+        payload_path = Path(path) / manifest.payload_file
+        readers = [
+            MmapArrayReader(
+                payload_path,
+                manifest.arrays,
+                payload_sha256=manifest.payload_sha256,
+                # The first reader streams the checksum; siblings over the
+                # same verified file skip the re-hash.
+                verified=index > 0,
+            )
+            for index in range(count)
+        ]
+        return [_check_engine(_decode(manifest, reader), path) for reader in readers]
     manifest, payload = read_snapshot(path)
     if manifest.kind != ENGINE_KIND:
         raise SnapshotFormatError(
             f"snapshot at {path} holds a {manifest.kind!r}, expected {ENGINE_KIND!r}"
         )
-    return [_check_engine(_decode(manifest, payload), path) for _ in range(count)]
+    return [
+        _check_engine(_decode(manifest, ArrayReader(payload, manifest.arrays)), path)
+        for _ in range(count)
+    ]
 
 
 def inspect_snapshot(path: PathLike) -> SnapshotInfo:

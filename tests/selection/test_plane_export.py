@@ -1,0 +1,150 @@
+"""Selector plane export/rebuild + the q-gram signature pre-filter.
+
+``export_arrays``/``from_arrays`` is the contract the process backend rides
+on: a rebuilt selector must answer every query exactly like the original.
+The edit-distance signature filter must be a pure pruning step — never
+dropping a true match — and stable across processes (no hash randomization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.selection.base import SimilaritySelector
+from repro.selection.edit_index import QGramEditSelector, qgram_signature
+from repro.selection.euclidean_index import BallIndexEuclideanSelector
+from repro.selection.hamming_index import PackedHammingSelector, PigeonholeHammingSelector
+from repro.selection.jaccard_index import PrefixFilterJaccardSelector
+from repro.distances import levenshtein
+
+RNG = np.random.default_rng(23)
+
+
+def _roundtrip(selector):
+    exported = selector.export_arrays()
+    assert exported is not None
+    arrays, meta = exported
+    for array in arrays.values():
+        assert isinstance(array, np.ndarray)
+        assert array.dtype != object
+    return type(selector).from_arrays(arrays, meta)
+
+
+class TestExportRoundtrips:
+    def test_packed_hamming(self):
+        records = [row for row in RNG.integers(0, 2, size=(80, 33)).astype(np.uint8)]
+        original = PackedHammingSelector(records)
+        rebuilt = _roundtrip(original)
+        for threshold in (4.0, 9.0):
+            for query in records[:5]:
+                assert original.query(query, threshold) == rebuilt.query(query, threshold)
+
+    def test_pigeonhole_hamming(self):
+        records = [row for row in RNG.integers(0, 2, size=(80, 32)).astype(np.uint8)]
+        original = PigeonholeHammingSelector(records)
+        rebuilt = _roundtrip(original)
+        for query in records[:5]:
+            assert original.query(query, 6.0) == rebuilt.query(query, 6.0)
+            assert np.array_equal(
+                original.cardinality_curve(query, np.arange(0.0, 10.0)),
+                rebuilt.cardinality_curve(query, np.arange(0.0, 10.0)),
+            )
+
+    def test_euclidean_exact_despite_different_pivots(self):
+        records = [row for row in RNG.normal(size=(70, 6))]
+        original = BallIndexEuclideanSelector(records)
+        rebuilt = _roundtrip(original)
+        for query in records[:5]:
+            # Pivot choice may differ worker-side; answers must not.
+            assert original.query(query, 2.0) == rebuilt.query(query, 2.0)
+
+    def test_jaccard_integer_tokens(self):
+        records = [
+            set(map(int, RNG.choice(40, size=int(RNG.integers(2, 9)), replace=False)))
+            for _ in range(60)
+        ]
+        original = PrefixFilterJaccardSelector(records)
+        rebuilt = _roundtrip(original)
+        for query in records[:5]:
+            assert original.query(query, 0.5) == rebuilt.query(query, 0.5)
+
+    def test_jaccard_string_tokens_refuse_export(self):
+        records = [{"alpha", "beta"}, {"beta", "gamma"}]
+        assert PrefixFilterJaccardSelector(records).export_arrays() is None
+
+    def test_edit_distance_strings(self):
+        words = ["kitten", "sitting", "mitten", "sittings", "bitten", "fitting"] * 5
+        original = QGramEditSelector(words)
+        rebuilt = _roundtrip(original)
+        for query in ("kitten", "fitting", "smitten"):
+            assert original.query(query, 2.0) == rebuilt.query(query, 2.0)
+
+    def test_base_selector_defaults(self):
+        class Plain(SimilaritySelector):
+            def query(self, record, threshold):
+                return []
+
+        plain = Plain([1, 2, 3])
+        assert plain.export_arrays() is None
+        with pytest.raises(NotImplementedError):
+            Plain.from_arrays({}, {})
+
+
+class TestQGramSignatureFilter:
+    def test_never_prunes_a_true_match(self):
+        # Exhaustive check against brute-force edit distance: the signature
+        # filter plus counting must return exactly the brute-force answers.
+        rng = np.random.default_rng(5)
+        alphabet = list("abcde")
+        words = [
+            "".join(rng.choice(alphabet, size=int(rng.integers(3, 10))))
+            for _ in range(120)
+        ]
+        selector = QGramEditSelector(words)
+        for query in words[:15]:
+            for threshold in (1.0, 2.0, 3.0):
+                expected = {
+                    i for i, word in enumerate(words)
+                    if levenshtein(query, word) <= threshold
+                }
+                # Id order follows the length-filter walk; membership is the
+                # exactness contract.
+                assert set(selector.query(query, threshold)) == expected
+
+    def test_signature_is_deterministic_crc_not_hash(self):
+        # Stable across processes: derived from crc32, never from hash().
+        grams = ["ab", "bc", "cd"]
+        signature = qgram_signature(grams)
+        assert isinstance(signature, int)
+        assert signature == qgram_signature(list(grams))
+        import zlib
+
+        expected = 0
+        for gram in grams:
+            expected |= 1 << (zlib.crc32(gram.encode("utf-8")) & 63)
+        assert signature == expected
+
+    def test_filter_actually_prunes(self):
+        # Sanity that the filter is not a no-op: a gram-rich query certifies
+        # many absent grams against unrelated strings (>` q·θ`) and prunes
+        # them before any gram counting.
+        words = ["abcdefgh", "zyxwvuts", "mnopqrst", "abcdefgx"]
+        selector = QGramEditSelector(words)
+        survivors = selector._signature_survivors(
+            int(selector._signatures[0]),
+            list(range(len(words))),
+            threshold=1,
+        )
+        assert 0 in survivors and 3 in survivors
+        assert 1 not in survivors and 2 not in survivors
+
+    def test_snapshot_restore_recomputes_signatures(self, tmp_path):
+        from repro.store import load_component, save_component
+
+        words = ["gram", "grams", "grampa", "signature", "signatures"]
+        selector = QGramEditSelector(words)
+        save_component(selector, tmp_path / "snap")
+        restored = load_component(tmp_path / "snap")
+        assert np.array_equal(restored._signatures, selector._signatures)
+        assert restored.query("grams", 1.0) == selector.query("grams", 1.0)

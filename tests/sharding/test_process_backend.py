@@ -1,0 +1,206 @@
+"""Process-backend shard fan-out: bit-identity, fallback, invalidation.
+
+The process path must be an invisible substitution for the thread path:
+identical answers for every selector type that can publish a plane, graceful
+permanent fallback for one that cannot, plane invalidation when updates
+rebuild shards, and snapshot hooks that never persist plane state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.updates import UpdateOperation
+from repro.runtime import Runtime, fork_available
+from repro.selection.edit_index import QGramEditSelector
+from repro.selection.euclidean_index import BallIndexEuclideanSelector
+from repro.selection.hamming_index import PackedHammingSelector, PigeonholeHammingSelector
+from repro.selection.jaccard_index import PrefixFilterJaccardSelector
+from repro.sharding import ShardedSelector
+from repro.sharding.selector import SHARD_PROCESS_POOL
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process backend needs the fork start method"
+)
+
+RNG = np.random.default_rng(17)
+
+
+def _pair(records, factory, num_shards=3):
+    """The same sharded deployment on both backends, isolated runtimes."""
+    thread_side = ShardedSelector(
+        records, factory, num_shards=num_shards, runtime=Runtime(), backend="thread"
+    )
+    process_side = ShardedSelector(
+        records, factory, num_shards=num_shards, runtime=Runtime(), backend="process"
+    )
+    return thread_side, process_side
+
+
+def _teardown(*selectors):
+    for selector in selectors:
+        selector.runtime.shutdown()
+
+
+WORKLOADS = {
+    "packed_hamming": (
+        [row for row in RNG.integers(0, 2, size=(150, 48)).astype(np.uint8)],
+        lambda recs: PackedHammingSelector(recs),
+        [8.0, 12.0],
+    ),
+    "pigeonhole_hamming": (
+        [row for row in RNG.integers(0, 2, size=(150, 48)).astype(np.uint8)],
+        lambda recs: PigeonholeHammingSelector(recs),
+        [8.0, 12.0],
+    ),
+    "euclidean": (
+        [row for row in RNG.normal(size=(120, 8))],
+        lambda recs: BallIndexEuclideanSelector(recs),
+        [1.5, 2.5],
+    ),
+    "jaccard": (
+        [
+            set(map(int, RNG.choice(60, size=int(RNG.integers(3, 12)), replace=False)))
+            for _ in range(100)
+        ],
+        lambda recs: PrefixFilterJaccardSelector(recs),
+        [0.4, 0.6],
+    ),
+    "edit": (
+        ["similar", "silimar", "dissimilar", "select", "selects", "cardinal",
+         "cardinality", "estimate", "estimator", "query"] * 9,
+        lambda recs: QGramEditSelector(recs),
+        [1.0, 2.0],
+    ),
+}
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("kind", sorted(WORKLOADS))
+    def test_all_ops_match_thread_backend(self, kind):
+        records, factory, thresholds = WORKLOADS[kind]
+        thread_side, process_side = _pair(records, factory)
+        try:
+            queries = records[:3]
+            for query in queries:
+                for threshold in thresholds:
+                    assert thread_side.query(query, threshold) == process_side.query(
+                        query, threshold
+                    )
+                    assert thread_side.cardinality(
+                        query, threshold
+                    ) == process_side.cardinality(query, threshold)
+                grid = np.linspace(0.0, max(thresholds) * 2, 6)
+                assert np.array_equal(
+                    thread_side.cardinality_curve(query, grid),
+                    process_side.cardinality_curve(query, grid),
+                )
+            workload_thresholds = [thresholds[0]] * len(queries)
+            assert thread_side.query_many(
+                queries, workload_thresholds
+            ) == process_side.query_many(queries, workload_thresholds)
+            # The fan-out genuinely ran on the process pool.
+            stats = process_side.runtime.stats()
+            assert stats[SHARD_PROCESS_POOL]["backend"] == "process"
+        finally:
+            _teardown(thread_side, process_side)
+
+    def test_query_with_counts_matches(self):
+        records, factory, thresholds = WORKLOADS["packed_hamming"]
+        thread_side, process_side = _pair(records, factory)
+        try:
+            ids_t, counts_t = thread_side.query_with_counts(records[0], thresholds[1])
+            ids_p, counts_p = process_side.query_with_counts(records[0], thresholds[1])
+            assert ids_t == ids_p
+            assert counts_t == counts_p
+        finally:
+            _teardown(thread_side, process_side)
+
+
+class TestFallbacks:
+    def test_non_exportable_shards_fall_back_to_threads(self):
+        # String tokens: PrefixFilterJaccardSelector.export_arrays is None.
+        records = [{f"tok{i}", f"tok{i + 1}", f"tok{i % 7}"} for i in range(60)]
+        selector = ShardedSelector(
+            records,
+            lambda recs: PrefixFilterJaccardSelector(recs),
+            num_shards=2,
+            runtime=Runtime(),
+            backend="process",
+        )
+        try:
+            matches = selector.query(records[0], 0.5)
+            assert 0 in matches
+            assert selector._plane_disabled  # permanent until shards change
+            assert SHARD_PROCESS_POOL not in selector.runtime.stats()
+        finally:
+            selector.runtime.shutdown()
+
+    def test_parallel_false_stays_serial(self):
+        records, factory, thresholds = WORKLOADS["packed_hamming"]
+        selector = ShardedSelector(
+            records, factory, num_shards=2, runtime=Runtime(),
+            backend="process", parallel=False,
+        )
+        try:
+            assert selector.query(records[0], thresholds[0])
+            assert selector.runtime.stats() == {}  # never started a pool
+        finally:
+            selector.runtime.shutdown()
+
+    def test_unknown_backend_rejected(self):
+        records, factory, _ = WORKLOADS["packed_hamming"]
+        with pytest.raises(ValueError, match="backend"):
+            ShardedSelector(records, factory, num_shards=2, backend="fibers")
+
+
+class TestUpdateInvalidation:
+    def test_updates_republish_and_stay_identical(self):
+        records, factory, thresholds = WORKLOADS["packed_hamming"]
+        thread_side, process_side = _pair(records, factory)
+        try:
+            query = np.array(records[0], copy=True)
+            # Warm the plane, then mutate the dataset both sides.
+            assert thread_side.query(query, 12.0) == process_side.query(query, 12.0)
+            first_planes = process_side._shard_planes
+            assert first_planes is not None
+            insert = UpdateOperation(
+                "insert", [row for row in RNG.integers(0, 2, size=(20, 48)).astype(np.uint8)]
+            )
+            thread_side.apply_operation(insert)
+            process_side.apply_operation(insert)
+            assert process_side._shard_planes is None  # invalidated
+            assert thread_side.query(query, 12.0) == process_side.query(query, 12.0)
+            assert process_side._shard_planes is not None  # republished lazily
+            delete = UpdateOperation("delete", [3, 11, 40])
+            thread_side.apply_operation(delete)
+            process_side.apply_operation(delete)
+            assert thread_side.query(query, 12.0) == process_side.query(query, 12.0)
+        finally:
+            _teardown(thread_side, process_side)
+
+
+class TestSnapshotHooks:
+    def test_plane_state_never_serializes(self, tmp_path):
+        from repro.store import load_component, save_component
+
+        records, factory, _ = WORKLOADS["packed_hamming"]
+        selector = ShardedSelector(
+            records, factory, num_shards=2, runtime=Runtime(), backend="process"
+        )
+        try:
+            query = records[0]
+            expected = selector.query(query, 10.0)
+            assert selector._shard_planes is not None
+            save_component(selector, tmp_path / "snap")
+            restored = load_component(tmp_path / "snap")
+            assert restored.backend == "process"
+            assert restored._plane is None
+            assert restored._shard_planes is None
+            assert not restored._plane_disabled
+            # Restored selector republishes lazily and answers identically.
+            assert restored.query(query, 10.0) == expected
+            restored.runtime.shutdown()
+        finally:
+            selector.runtime.shutdown()

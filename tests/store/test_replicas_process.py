@@ -1,0 +1,118 @@
+"""ReplicaSet process mode + mmap'd replica restores.
+
+Process-mode replica sets must answer identically to thread-mode ones (every
+worker's engine is a restore of the same snapshot), keep the routing/telemetry
+accounting intact with replica ids as pure labels, and refuse construction
+without a snapshot path to load workers from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampling import UniformSamplingEstimator
+from repro.engine import SimilarityPredicate, SimilarityQueryEngine
+from repro.runtime import fork_available
+from repro.store import ReplicaSet, load_engine, save_engine
+from repro.store.replicas import REPLICA_PROCESS_POOL
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    from repro.datasets import make_binary_dataset
+
+    dataset = make_binary_dataset(
+        num_records=200, dimension=32, num_clusters=4, flip_probability=0.1,
+        theta_max=12, seed=9, name="HM-ProcReplica",
+    )
+    engine = SimilarityQueryEngine()
+    engine.register_attribute(
+        "vec",
+        dataset.records,
+        "hamming",
+        UniformSamplingEstimator(dataset.records, "hamming", sample_ratio=0.4, seed=2),
+        theta_max=dataset.theta_max,
+    )
+    path = tmp_path_factory.mktemp("proc-replicas") / "snap"
+    save_engine(engine, path)
+    return path, dataset
+
+
+def _queries(dataset, count=12):
+    return [
+        SimilarityPredicate("vec", dataset.records[i % len(dataset.records)], 5.0)
+        for i in range(count)
+    ]
+
+
+class TestMmapReplicas:
+    def test_mmap_replicas_answer_identically(self, snapshot):
+        path, dataset = snapshot
+        copied = ReplicaSet.from_snapshot(path, 2)
+        mapped = ReplicaSet.from_snapshot(path, 2, mmap=True)
+        queries = _queries(dataset, 6)
+        for a, b in zip(copied.execute_many(queries), mapped.execute_many(queries)):
+            assert a.record_ids == b.record_ids
+        copied.runtime.shutdown()
+        mapped.runtime.shutdown()
+
+    def test_mmap_engine_arrays_are_views(self, snapshot):
+        path, _ = snapshot
+        engine = load_engine(path, mmap=True)
+        selector = engine.catalog.get("vec").selector
+        packed = selector._packed
+        assert not packed.flags.writeable  # read-only view, not a copy
+
+
+@pytest.mark.skipif(not fork_available(), reason="process backend needs fork")
+class TestProcessReplicas:
+    def test_answers_match_thread_mode(self, snapshot):
+        path, dataset = snapshot
+        threads = ReplicaSet.from_snapshot(path, 3)
+        processes = ReplicaSet.from_snapshot(path, 3, backend="process")
+        queries = _queries(dataset, 12)
+        expected = threads.execute_many(queries)
+        actual = processes.execute_many(queries)
+        for a, b in zip(expected, actual):
+            assert a.record_ids == b.record_ids
+            assert a.plan.driver.estimated_cardinality == b.plan.driver.estimated_cardinality
+        # Routing labels + counts behave exactly like thread mode.
+        assert len(processes) == 3
+        assert processes.query_counts() == threads.query_counts()
+        assert processes.stats()["backend"] == "process"
+        assert processes.runtime.stats()[REPLICA_PROCESS_POOL]["backend"] == "process"
+        threads.runtime.shutdown()
+        processes.runtime.shutdown()
+
+    def test_second_batch_reuses_warm_workers(self, snapshot):
+        path, dataset = snapshot
+        replicas = ReplicaSet.from_snapshot(path, 2, backend="process")
+        queries = _queries(dataset, 8)
+        first = replicas.execute_many(queries)
+        second = replicas.execute_many(queries)
+        for a, b in zip(first, second):
+            assert a.record_ids == b.record_ids
+        assert sum(replicas.query_counts()) == 16
+        replicas.runtime.shutdown()
+
+    def test_explain_plans_on_parent_copy(self, snapshot):
+        path, dataset = snapshot
+        replicas = ReplicaSet.from_snapshot(path, 2, backend="process")
+        plan = replicas.explain(_queries(dataset, 1)[0])
+        assert plan.driver.estimated_cardinality >= 0
+        assert replicas.query_counts() == [0, 0]  # explain is not load
+        replicas.runtime.shutdown()
+
+    def test_process_mode_requires_snapshot_path(self, snapshot):
+        path, _ = snapshot
+        engine = load_engine(path)
+        with pytest.raises(ValueError, match="snapshot path"):
+            ReplicaSet([engine], backend="process")
+
+    def test_writes_still_refused(self, snapshot):
+        path, _ = snapshot
+        replicas = ReplicaSet.from_snapshot(path, 2, backend="process")
+        with pytest.raises(RuntimeError, match="read-only"):
+            replicas.apply_update()
+        replicas.runtime.shutdown()
