@@ -17,19 +17,30 @@ Public API highlights
 * :mod:`repro.runtime` — the shared concurrent execution layer: named worker
   pools with explicit backpressure, request coalescing, one runtime under
   serving, sharding, replicas, and the engine.
+* :mod:`repro.obs` — observability: span traces across threads and forked
+  workers, mergeable histogram metrics with Prometheus/JSON exposition, and
+  ``Engine.explain_analyze``.
 """
 
 from .core import CardinalityEstimator, CardNet, CardNetConfig, CardNetEstimator
 from .datasets import DEFAULT_DATASETS, load_dataset
 from .engine import ConjunctiveQuery, SimilarityPredicate, SimilarityQueryEngine
 from .metrics import AccuracyReport, mape, mean_q_error, mse
+from .obs import (
+    MetricsRegistry,
+    Span,
+    enable_tracing,
+    span,
+    start_trace,
+    tracing_enabled,
+)
 from .runtime import BatchCoalescer, Runtime, WorkerPool, default_runtime
 from .serving import CurveCache, EstimationService, EstimatorRegistry
 from .sharding import ShardedEstimatorGroup, ShardedSelector
 from .store import ReplicaSet, load_engine, save_engine
 from .workloads import Workload, build_workload
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CardNet",
@@ -59,5 +70,11 @@ __all__ = [
     "mse",
     "mape",
     "mean_q_error",
+    "MetricsRegistry",
+    "Span",
+    "enable_tracing",
+    "span",
+    "start_trace",
+    "tracing_enabled",
     "__version__",
 ]

@@ -18,6 +18,7 @@ everything below it into a system that answers similarity queries end to end:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
@@ -31,6 +32,8 @@ from ..core.incremental import (
 )
 from ..core.interface import CardinalityEstimator
 from ..datasets.updates import UpdateOperation, apply_operation
+from ..obs.explain import ExplainAnalyzeReport, PredicateAnalysis, SlowQueryLog
+from ..obs.trace import span, start_trace
 from ..runtime import Runtime
 from ..selection import PigeonholeHammingSelector, SimilaritySelector, default_selector
 from ..serving import EstimationService
@@ -154,6 +157,8 @@ class SimilarityQueryEngine:
         min_feedback_observations: int = 8,
         runtime: Optional[Runtime] = None,
         execute_workers: int = 4,
+        slow_query_seconds: float = 0.1,
+        slow_query_capacity: int = 64,
     ) -> None:
         self.service = service if service is not None else EstimationService()
         #: One runtime under the whole engine: shard fan-out, the pipelined
@@ -178,6 +183,11 @@ class SimilarityQueryEngine:
         self._links: Dict[str, "Union[_ManagerLink, _ShardedManagerLink]"] = {}
         self._groups: Dict[str, ShardedEstimatorGroup] = {}
         self._shard_managers: Dict[str, Dict[int, IncrementalUpdateManager]] = {}
+        #: Always-on ring buffer of recent queries slower than the threshold;
+        #: the escalation path is re-running an entry through explain_analyze.
+        self.slow_queries = SlowQueryLog(
+            threshold_seconds=slow_query_seconds, capacity=slow_query_capacity
+        )
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -277,6 +287,7 @@ class SimilarityQueryEngine:
         theta_max: Optional[float] = None,
         curve_thetas: Optional[Sequence[float]] = None,
         parallel: bool = True,
+        backend: str = "thread",
     ) -> AttributeBinding:
         """Register one attribute partitioned across ``num_shards`` shards.
 
@@ -289,7 +300,9 @@ class SimilarityQueryEngine:
         ``name#shardK`` per shard plus a merged ``name`` endpoint whose curves
         are the sums of the per-shard cached curves — the planner addresses
         only the merged endpoint, the executor fans out across the shard
-        indexes in parallel and merges exactly.
+        indexes in parallel and merges exactly.  ``backend="process"`` runs
+        the fan-out on forked worker processes (shard arrays published once
+        via a shared data plane); results stay bit-identical either way.
         """
         from ..distances import get_distance
 
@@ -307,6 +320,7 @@ class SimilarityQueryEngine:
             partitioner=partitioner,
             parallel=parallel,
             runtime=self.runtime,  # shard fan-out shares the engine's workers
+            backend=backend,
         )
         estimators = [
             estimator_factory(list(shard.dataset), shard_index)
@@ -500,6 +514,80 @@ class SimilarityQueryEngine:
             results.append(result)
         return results
 
+    def explain_analyze(
+        self,
+        query: "ConjunctiveQuery | SimilarityPredicate",
+        feedback: bool = True,
+    ) -> ExplainAnalyzeReport:
+        """Plan, execute, and report estimated-vs-actual per predicate.
+
+        Runs ONE traced query regardless of the global tracing switch: the
+        forced trace propagates through the shard fan-out pools (thread or
+        process backend — child-process spans ride back and re-parent), so
+        the report's span tree covers plan → estimate → driver scan →
+        per-predicate residual verify → per-shard tasks.  The result is the
+        same exact answer ``execute`` returns; ``feedback=False`` skips the
+        drift observation for purely diagnostic runs.
+
+        Each predicate is paired with its *standalone* actual cardinality:
+        the driver's falls out of execution for free, residuals are measured
+        with one exact index query each (that extra work is the ANALYZE cost,
+        and is itself traced under ``analyze.actuals``).
+        """
+        normalized = as_query(query)
+        started = time.perf_counter()
+        with start_trace("query.explain_analyze") as root:
+            with span("query.plan"):
+                plan = self.planner.plan(normalized)
+            result = self.executor.execute(plan)
+            if feedback:
+                self._observe(plan, result)
+            with span("analyze.actuals"):
+                predicates = self._analyze_predicates(plan, result)
+        return ExplainAnalyzeReport(
+            predicates=predicates,
+            result_count=len(result.record_ids),
+            duration_seconds=time.perf_counter() - started,
+            trace=root,
+            plan={
+                "driver": plan.driver.attribute,
+                "driver_shards": plan.driver_shards,
+                "allocation": plan.allocation,
+                "estimated_candidates": plan.estimated_candidates,
+                "planning_seconds": plan.planning_seconds,
+                "execution_seconds": result.execution_seconds,
+            },
+        )
+
+    def _analyze_predicates(
+        self, plan: QueryPlan, result: QueryResult
+    ) -> List[PredicateAnalysis]:
+        analyses = [
+            PredicateAnalysis(
+                attribute=plan.driver.attribute,
+                threshold=float(plan.driver.theta),
+                estimated=float(plan.driver.estimated_cardinality),
+                actual=result.driver_actual,
+                role="driver",
+            )
+        ]
+        for planned in plan.residuals:
+            binding = self.catalog.get(planned.attribute)
+            analyses.append(
+                PredicateAnalysis(
+                    attribute=planned.attribute,
+                    threshold=float(planned.theta),
+                    estimated=float(planned.estimated_cardinality),
+                    actual=int(
+                        binding.selector.cardinality(
+                            planned.predicate.record, planned.theta
+                        )
+                    ),
+                    role="residual",
+                )
+            )
+        return analyses
+
     def _execute_with_feedback(self, plan: QueryPlan) -> QueryResult:
         result = self.executor.execute(plan)
         self._observe(plan, result)
@@ -510,6 +598,20 @@ class SimilarityQueryEngine:
             self.catalog.get(plan.driver.attribute).endpoint,
             plan.driver.estimated_cardinality,
             result.driver_actual,
+        )
+        self.slow_queries.record(
+            {
+                "duration_seconds": result.execution_seconds,
+                "driver": plan.driver.attribute,
+                "theta": float(plan.driver.theta),
+                "estimated": float(plan.driver.estimated_cardinality),
+                "driver_actual": result.driver_actual,
+                "result_count": len(result.record_ids),
+                "predicates": [
+                    (predicate.attribute, float(predicate.theta))
+                    for predicate in plan.query.predicates
+                ],
+            }
         )
 
     # ------------------------------------------------------------------ #
@@ -604,6 +706,13 @@ class SimilarityQueryEngine:
         from ..store import load_engine
 
         return load_engine(path)
+
+    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
+        # Engines saved before the observability layer carry no slow-query
+        # ring; default one so restored engines expose the same API.
+        self.__dict__.update(state)
+        if "slow_queries" not in self.__dict__:
+            self.slow_queries = SlowQueryLog()
 
     # ------------------------------------------------------------------ #
     # Introspection

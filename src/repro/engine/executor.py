@@ -17,6 +17,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..obs.trace import span
 from ..selection import PigeonholeHammingSelector
 from ..sharding import ShardedSelector
 from .catalog import AttributeCatalog
@@ -61,41 +62,62 @@ class QueryExecutor:
         driver_binding = self.catalog.get(plan.driver.attribute)
         driver_predicate = plan.driver.predicate
 
-        shard_counts: Optional[List[int]] = None
-        if plan.allocation is not None and isinstance(
-            driver_binding.selector, PigeonholeHammingSelector
-        ):
-            matches, driver_candidates = driver_binding.selector.verified_candidates(
-                driver_predicate.record,
-                driver_predicate.theta,
-                allocation=plan.allocation,
-            )
-        elif isinstance(driver_binding.selector, ShardedSelector):
-            # Parallel fan-out across shard indexes; per-shard counts are the
-            # observations a per-shard feedback loop would consume.
-            matches, shard_counts = driver_binding.selector.query_with_counts(
-                driver_predicate.record, driver_predicate.theta
-            )
-            driver_candidates = len(matches)
-        else:
-            matches = driver_binding.selector.query(
-                driver_predicate.record, driver_predicate.theta
-            )
-            driver_candidates = len(matches)
-        driver_actual = len(matches)
+        with span("query.execute", driver=plan.driver.attribute):
+            shard_counts: Optional[List[int]] = None
+            with span(
+                "execute.driver", attribute=plan.driver.attribute
+            ) as driver_span:
+                if plan.allocation is not None and isinstance(
+                    driver_binding.selector, PigeonholeHammingSelector
+                ):
+                    matches, driver_candidates = (
+                        driver_binding.selector.verified_candidates(
+                            driver_predicate.record,
+                            driver_predicate.theta,
+                            allocation=plan.allocation,
+                        )
+                    )
+                elif isinstance(driver_binding.selector, ShardedSelector):
+                    # Parallel fan-out across shard indexes; per-shard counts
+                    # are the observations a per-shard feedback loop would
+                    # consume.
+                    matches, shard_counts = (
+                        driver_binding.selector.query_with_counts(
+                            driver_predicate.record, driver_predicate.theta
+                        )
+                    )
+                    driver_candidates = len(matches)
+                else:
+                    matches = driver_binding.selector.query(
+                        driver_predicate.record, driver_predicate.theta
+                    )
+                    driver_candidates = len(matches)
+                driver_actual = len(matches)
+                driver_span.set(
+                    actual=driver_actual,
+                    candidates=driver_candidates,
+                    shards=len(shard_counts) if shard_counts is not None else 1,
+                )
 
-        surviving = np.asarray(sorted(matches), dtype=np.int64)
-        verification_examined = 0
-        for planned in plan.residuals:
-            if surviving.size == 0:
-                break
-            verification_examined += int(surviving.size)
-            binding = self.catalog.get(planned.attribute)
-            values = binding.values_at(surviving)
-            distances = binding.distance.cross_distances(
-                [planned.predicate.record], values
-            )[0]
-            surviving = surviving[distances <= planned.theta + 1e-12]
+            surviving = np.asarray(sorted(matches), dtype=np.int64)
+            verification_examined = 0
+            for planned in plan.residuals:
+                if surviving.size == 0:
+                    break
+                with span(
+                    "execute.verify", attribute=planned.attribute
+                ) as verify_span:
+                    candidates_in = int(surviving.size)
+                    verification_examined += candidates_in
+                    binding = self.catalog.get(planned.attribute)
+                    values = binding.values_at(surviving)
+                    distances = binding.distance.cross_distances(
+                        [planned.predicate.record], values
+                    )[0]
+                    surviving = surviving[distances <= planned.theta + 1e-12]
+                    verify_span.set(
+                        candidates_in=candidates_in, survivors=int(surviving.size)
+                    )
 
         return QueryResult(
             plan=plan,

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
 from ..core.incremental import RevalidationReport
+from ..obs.trace import span
 from ..serving import EstimationService
 
 
@@ -95,11 +96,14 @@ class FeedbackMonitor:
         return self._repair(endpoint, window_q_error, len(window))
 
     def _repair(self, endpoint: str, window_q_error: float, observations: int) -> DriftEvent:
-        curves_invalidated = self.service.invalidate(endpoint)
-        revalidation: Optional[RevalidationReport] = None
-        manager = self._managers.get(endpoint)
-        if manager is not None:
-            revalidation = manager.revalidate()
+        with span(
+            "feedback.repair", endpoint=endpoint, window_q_error=window_q_error
+        ):
+            curves_invalidated = self.service.invalidate(endpoint)
+            revalidation: Optional[RevalidationReport] = None
+            manager = self._managers.get(endpoint)
+            if manager is not None:
+                revalidation = manager.revalidate()
         self.service.telemetry.record_drift(endpoint)
         self._windows[endpoint].clear()
         event = DriftEvent(

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.trace import span
 from ..optimizer.gph import GPHQueryProcessor, PartCardinalityEstimator
 from ..serving import EstimationService
 from .catalog import AttributeCatalog
@@ -182,11 +183,15 @@ class QueryPlanner:
             plan.driver_shards = len(binding.shard_endpoints)
         if binding.uses_gph:
             gph_start = time.perf_counter()
-            gph_plan = GPHQueryProcessor(binding.records, selector=binding.selector).plan(
-                driver.predicate.record,
-                int(driver.theta),
-                ServicePartCurves(self.service, binding.part_endpoints),
-            )
+            with span("plan.gph", attribute=driver.attribute) as gph_span:
+                gph_plan = GPHQueryProcessor(
+                    binding.records, selector=binding.selector
+                ).plan(
+                    driver.predicate.record,
+                    int(driver.theta),
+                    ServicePartCurves(self.service, binding.part_endpoints),
+                )
+                gph_span.set(allocation=gph_plan.allocation)
             plan.allocation = gph_plan.allocation
             plan.estimated_candidates = gph_plan.estimated_candidates
             plan.planning_seconds += time.perf_counter() - gph_start
@@ -213,7 +218,8 @@ class QueryPlanner:
             for predicate in query.predicates:
                 self.catalog.get(predicate.attribute)  # fail fast on unknown names
         start = time.perf_counter()
-        workload_estimates = self._workload_estimates(queries)
+        with span("plan.estimate", queries=len(queries)):
+            workload_estimates = self._workload_estimates(queries)
         per_query_seconds = (time.perf_counter() - start) / len(queries)
         for query, estimates in zip(queries, workload_estimates):
             yield self._assemble(query, estimates, per_query_seconds)

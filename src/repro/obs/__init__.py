@@ -1,0 +1,73 @@
+"""repro.obs — tracing, metrics, and EXPLAIN ANALYZE for the whole stack.
+
+Three pieces, one substrate:
+
+* :mod:`repro.obs.trace` — per-request span trees that follow a query through
+  worker threads and forked process-backend children (child subtrees ride
+  back with task results and re-parent in the submitter's tree);
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket mergeable
+  histograms with Prometheus/JSON exposition; ``ServingTelemetry`` records
+  into a registry without changing its own API;
+* :mod:`repro.obs.explain` — ``Engine.explain_analyze`` report structures
+  pairing estimated vs actual cardinality per predicate, plus a bounded
+  slow-query ring buffer.
+
+Both tracing (``REPRO_TRACE``) and library metrics (``REPRO_METRICS=0``) have
+kill switches; ``benchmarks/bench_obs_overhead.py`` pins the cost envelope.
+"""
+
+from .explain import ExplainAnalyzeReport, PredicateAnalysis, SlowQueryLog
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_Q_ERROR_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    default_registry,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    use_registry,
+)
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    activate,
+    capture_context,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    span,
+    start_trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_Q_ERROR_BUCKETS",
+    "ExplainAnalyzeReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "PredicateAnalysis",
+    "SlowQueryLog",
+    "Span",
+    "activate",
+    "capture_context",
+    "current_registry",
+    "current_span",
+    "default_registry",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "metrics_enabled",
+    "span",
+    "start_trace",
+    "tracing_enabled",
+    "use_registry",
+]

@@ -53,6 +53,8 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
+from ..obs.metrics import default_registry, use_registry
+from ..obs.trace import Span, activate, capture_context, span
 from .process import ERROR, OK, SHUTDOWN_SENTINEL, run_child_loop
 
 #: Admission-control policies a bounded pool can apply when its queue is full.
@@ -202,9 +204,14 @@ class WorkerPool:
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
-        #: Queue rows: (handle, fn, args, kwargs, payload) — ``payload`` is
-        #: the pre-pickled task for the process backend, ``None`` for threads.
-        self._tasks: Deque[Tuple[TaskHandle, Optional[Callable], tuple, dict, Optional[bytes]]] = deque()
+        #: Queue rows: (handle, fn, args, kwargs, payload, context) —
+        #: ``payload`` is the pre-pickled task for the process backend
+        #: (``None`` for threads); ``context`` is the submitter's active trace
+        #: span (``None`` outside a trace), re-activated around the task on
+        #: the worker so per-task spans attach to the submitting query's tree.
+        self._tasks: Deque[
+            Tuple[TaskHandle, Optional[Callable], tuple, dict, Optional[bytes], Optional[Span]]
+        ] = deque()
         self._threads: List[threading.Thread] = []
         self._children: List[Optional[_ChildWorker]] = []
         self._active = 0
@@ -273,12 +280,20 @@ class WorkerPool:
         On the process backend the task is pickled HERE, outside the pool
         lock and before admission — an unpicklable closure fails the caller
         immediately and loudly instead of poisoning a worker later.
+
+        The submitter's active trace span (if any) is captured alongside the
+        task; the worker re-activates it so spans recorded during the task
+        attach to the submitting query's tree.  On the process backend only
+        the span's ``(trace_id, span_id)`` rides in the envelope — the child
+        builds its own subtree against those ids and ships it back.
         """
+        context = capture_context()
         payload: Optional[bytes] = None
         if self.backend == "process":
+            meta = None if context is None else (context.trace_id, context.span_id)
             try:
                 payload = pickle.dumps(
-                    (fn, args, kwargs), protocol=pickle.HIGHEST_PROTOCOL
+                    (fn, args, kwargs, meta), protocol=pickle.HIGHEST_PROTOCOL
                 )
             except Exception as error:
                 raise TypeError(
@@ -302,7 +317,7 @@ class WorkerPool:
                         f"({self.max_queue_depth} tasks queued)"
                     )
                 if self.policy == "shed_oldest":
-                    old_handle, _, _, _, _ = self._tasks.popleft()
+                    old_handle, _, _, _, _, _ = self._tasks.popleft()
                     self.shed += 1
                     old_handle._fail(
                         TaskShedError(
@@ -320,7 +335,7 @@ class WorkerPool:
                         self._not_full.wait()
                     if self._shutdown:
                         raise RuntimeError(f"pool {self.name!r} is shut down")
-            self._tasks.append((handle, fn, args, kwargs, payload))
+            self._tasks.append((handle, fn, args, kwargs, payload, context))
             self.submitted += 1
             self.max_queue_seen = max(self.max_queue_seen, len(self._tasks))
             self._ensure_started_locked()
@@ -371,20 +386,25 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     def _run_in_child(
         self, index: int, payload: bytes
-    ) -> Tuple[Any, Optional[BaseException]]:
+    ) -> Tuple[Any, Optional[BaseException], Optional[Dict[str, Any]]]:
         """Ship one pickled task to this thread's child and await the reply.
 
         A dead child (killed, segfaulted) fails the task loudly and is
         replaced before the next task — one poisoned task never wedges the
         pool.  The blocking ``recv`` releases the GIL: this is where the
         parent thread idles while the child's core does the work.
+
+        Returns ``(value, error, extras)``; ``extras`` is the child's
+        observability sidecar (metrics state + traced span subtree, see
+        :mod:`repro.runtime.process`).  Two-element legacy replies parse as
+        extras-free.
         """
         child = self._children[index]
         if child is None or not child.alive:
             child = self._children[index] = _ChildWorker(self.name, index)
         try:
             child.connection.send_bytes(payload)
-            code, obj = child.connection.recv()
+            reply = child.connection.recv()
         except (EOFError, OSError) as exc:
             # Discard the broken child NOW rather than trusting is_alive()
             # on the next task — exit status can lag the pipe EOF, and a
@@ -394,15 +414,17 @@ class WorkerPool:
             return None, RuntimeError(
                 f"process worker {index} of pool {self.name!r} died mid-task "
                 f"({exc!r}); the task is lost and the worker will be replaced"
-            )
+            ), None
+        code, obj = reply[0], reply[1]
+        extras = reply[2] if len(reply) > 2 else None
         if code == OK:
-            return obj, None
+            return obj, None, extras
         if code == ERROR:
-            return None, obj
+            return None, obj, None
         return None, RuntimeError(
             f"process worker task failed and its error could not be "
             f"pickled back: {obj}"
-        )
+        ), None
 
     def _worker_loop(self, index: int) -> None:
         try:
@@ -416,6 +438,59 @@ class WorkerPool:
                 if child is not None:
                     child.stop()
 
+    def _metrics_sink(self) -> Any:
+        """Where this pool's ambient metrics land: the telemetry's registry
+        when the pool has one, otherwise the process default registry."""
+        registry = getattr(self.telemetry, "metrics", None)
+        return registry if registry is not None else default_registry()
+
+    def _run_task(
+        self,
+        index: int,
+        fn: Optional[Callable],
+        args: tuple,
+        kwargs: dict,
+        payload: Optional[bytes],
+        sink: Any,
+    ) -> Tuple[Any, Optional[BaseException], Optional[Dict[str, Any]]]:
+        """Execute one task on the right backend, returning (value, error, extras).
+
+        Thread-backend tasks run with ``sink`` pushed as the current metrics
+        registry, so ambient instrumentation inside the task (shard-op
+        counters, service histograms) lands in the same registry whichever
+        backend executes — the process backend reaches the sink via the
+        extras merge instead.
+        """
+        if payload is not None:
+            return self._run_in_child(index, payload)
+        try:
+            with use_registry(sink):
+                value = fn(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 — delivered via the handle
+            return None, exc, None
+        return value, None, None
+
+    def _absorb_extras(
+        self, extras: Dict[str, Any], task_span: Optional[Any], sink: Any
+    ) -> None:
+        """Fold a child's observability sidecar into the parent's world:
+        merge its metrics into the sink, adopt its span subtree under the
+        task span (dropped when the task was untraced)."""
+        state = extras.get("metrics")
+        if state:
+            try:
+                sink.merge_state(state)
+            except Exception:
+                # A malformed or bucket-mismatched state must not kill the
+                # worker thread; count the loss where it can be seen.
+                sink.counter(
+                    "repro_metrics_merge_failures_total",
+                    description="child metric states the parent could not merge",
+                ).inc()
+        child_span = extras.get("span")
+        if child_span is not None and task_span is not None:
+            task_span.adopt(child_span)
+
     def _worker_loop_inner(self, index: int) -> None:
         while True:
             with self._lock:
@@ -423,20 +498,35 @@ class WorkerPool:
                     self._not_empty.wait()
                 if not self._tasks:
                     return  # shutdown requested and the queue fully drained
-                handle, fn, args, kwargs, payload = self._tasks.popleft()
+                handle, fn, args, kwargs, payload, context = self._tasks.popleft()
                 self._active += 1
                 self._not_full.notify()
             start = time.perf_counter()
-            error: Optional[BaseException] = None
-            value: Any = None
-            if payload is not None:
-                value, error = self._run_in_child(index, payload)
+            sink = self._metrics_sink()
+            task_span: Optional[Any] = None
+            if context is not None:
+                # Re-activate the submitter's span on this thread so the
+                # task's spans join the submitting query's tree.
+                with activate(context):
+                    with span(
+                        "pool.task", pool=self.name, backend=self.backend
+                    ) as task_span:
+                        value, error, extras = self._run_task(
+                            index, fn, args, kwargs, payload, sink
+                        )
+                        if error is not None:
+                            task_span.set(error=repr(error))
             else:
-                try:
-                    value = fn(*args, **kwargs)
-                except BaseException as exc:  # noqa: BLE001 — delivered via the handle
-                    error = exc
+                value, error, extras = self._run_task(
+                    index, fn, args, kwargs, payload, sink
+                )
             elapsed = time.perf_counter() - start
+            # Absorb child-side observability BEFORE resolving the handle,
+            # for the same reason telemetry is recorded first: the instant
+            # result() returns, the merged metrics and adopted spans must
+            # already be visible.
+            if extras:
+                self._absorb_extras(extras, task_span, sink)
             # Account the task fully (telemetry, then counters) BEFORE
             # resolving the handle: once result() or drain() returns, the
             # pool and its telemetry must already show the task as finished —

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.trace import span
 from ..runtime.coalescer import BatchCoalescer
 from .cache import CurveCache
 from .registry import EstimatorRegistry, RegisteredEstimator
@@ -143,25 +144,28 @@ class EstimationService:
         silently succeeding on empty input.
         """
         start = time.perf_counter()
-        with self._lock:
-            entry = self.registry.get(name)
-            records = list(records)
-            thetas = np.asarray(thetas, dtype=np.float64)
-            if len(thetas) != len(records):
-                raise ValueError("records and thetas must have the same length")
-            if not records:
-                # Zero-work requests still show up in the latency telemetry, so
-                # per-request accounting stays consistent across batch sizes.
+        with span("service.estimate", endpoint=name) as estimate_span:
+            with self._lock:
+                entry = self.registry.get(name)
+                records = list(records)
+                thetas = np.asarray(thetas, dtype=np.float64)
+                if len(thetas) != len(records):
+                    raise ValueError("records and thetas must have the same length")
+                if not records:
+                    # Zero-work requests still show up in the latency telemetry,
+                    # so per-request accounting stays consistent across batch
+                    # sizes.
+                    self.telemetry.record_latency(name, time.perf_counter() - start)
+                    return np.zeros(0)
+                curves = self._curves_for(entry, records)
+                columns = entry.curve_indices(thetas)  # one vectorized map per batch
+                answers = np.asarray(
+                    [curve[column] for curve, column in zip(curves, columns)],
+                    dtype=np.float64,
+                )
+                estimate_span.set(batch=len(records))
                 self.telemetry.record_latency(name, time.perf_counter() - start)
-                return np.zeros(0)
-            curves = self._curves_for(entry, records)
-            columns = entry.curve_indices(thetas)  # one vectorized map per batch
-            answers = np.asarray(
-                [curve[column] for curve, column in zip(curves, columns)],
-                dtype=np.float64,
-            )
-            self.telemetry.record_latency(name, time.perf_counter() - start)
-            return answers
+                return answers
 
     def estimate(self, name: str, record: Any, theta: float) -> float:
         """Single-query estimate (a one-element batch through the curve path)."""
@@ -346,7 +350,10 @@ class EstimationService:
             batch_records = [records[i] for i in representative_ids]
             self.telemetry.record_batch(entry.name, len(batch_records))
             grid = None if entry.canonical else entry.curve_thetas
-            fresh = entry.estimator.estimate_curve_many(batch_records, grid)
+            with span(
+                "service.micro_batch", endpoint=entry.name, batch=len(batch_records)
+            ):
+                fresh = entry.estimator.estimate_curve_many(batch_records, grid)
             for key, curve in zip(missing.keys(), np.asarray(fresh)):
                 # Copy each row out of the batch matrix: caching a row VIEW
                 # would pin the whole micro-batch's memory for as long as any

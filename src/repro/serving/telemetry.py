@@ -8,6 +8,18 @@ feedback loop reports observed cardinalities back
 (online q-error and drift-event counts).  ``snapshot()`` returns a plain dict
 suitable for logging or for the benchmark harness to emit as JSON.
 
+The flat counters are backed by a :class:`repro.obs.MetricsRegistry`
+(``telemetry.metrics``): every recording feeds both the legacy
+:class:`EndpointStats` sums (API unchanged) and labelled counters/histograms,
+which is where percentiles come from — ``snapshot()`` now reports
+``latency_p50/p95/p99`` per endpoint, and :meth:`ServingTelemetry.
+to_prometheus` exposes the whole registry in Prometheus text format.  Worker
+pools route their ambient metrics into this same registry (it is the pool's
+metrics sink), including metrics merged back from process-backend children.
+Setting ``REPRO_METRICS=0`` skips the registry feeds (the flat counters keep
+working) — the zero-cost-when-off path pinned by
+``benchmarks/bench_obs_overhead.py``.
+
 Recording is thread-safe: one internal lock serializes every counter update,
 so worker-pool threads (:mod:`repro.runtime`), concurrent service clients,
 and the feedback loop can all report into one instance without losing
@@ -17,8 +29,15 @@ increments.  The lock is dropped and rebuilt across snapshots.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Any, Dict
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+from ..obs.metrics import (
+    DEFAULT_Q_ERROR_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    metrics_enabled,
+)
 
 
 def q_error(estimated: float, actual: float) -> float:
@@ -41,6 +60,8 @@ class EndpointStats:
     batched_records: int = 0
     max_batch_size: int = 0
     latency_seconds: float = 0.0
+    #: Largest single recorded duration — the straggler a sum cannot show.
+    max_latency_seconds: float = 0.0
     #: Deferred-path micro-batches whose auto-flush raised.  ``submit``
     #: swallows the error by design (it may belong to another caller's
     #: endpoint; each affected handle still carries it) — this counter is
@@ -66,6 +87,12 @@ class EndpointStats:
         """Online mean q-error over every observation reported so far."""
         return self.q_error_sum / self.observations if self.observations else 0.0
 
+    def record_duration(self, seconds: float) -> None:
+        """Fold one duration into the sum and the running max."""
+        self.latency_seconds += seconds
+        if seconds > self.max_latency_seconds:
+            self.max_latency_seconds = seconds
+
     def snapshot(self) -> Dict[str, float]:
         return {
             "requests": self.requests,
@@ -79,6 +106,7 @@ class EndpointStats:
             "mean_latency_seconds": (
                 self.latency_seconds / self.requests if self.requests else 0.0
             ),
+            "max_latency_seconds": self.max_latency_seconds,
             "auto_flush_failures": self.auto_flush_failures,
             "observations": self.observations,
             "mean_q_error": self.mean_q_error,
@@ -86,26 +114,78 @@ class EndpointStats:
             "drift_events": self.drift_events,
         }
 
+    # -- snapshot hook (repro.store): tolerate states from older formats --- #
+    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
+        for field_ in fields(self):
+            setattr(self, field_.name, field_.default)
+        self.__dict__.update(state)
+
 
 class ServingTelemetry:
-    """Aggregates :class:`EndpointStats` per estimator plus a global view."""
+    """Aggregates :class:`EndpointStats` per estimator plus a global view.
+
+    ``telemetry.metrics`` is the attached registry; worker pools handed this
+    telemetry use it as their metrics sink, so child-process metrics merge
+    here too.
+    """
 
     def __init__(self) -> None:
         self._endpoints: Dict[str, EndpointStats] = {}
         self.total = EndpointStats()
+        self.metrics = MetricsRegistry()
         self._lock = threading.Lock()
+        # Resolved metric handles, keyed (kind, endpoint).  Get-or-create in
+        # the registry costs a key format + a lock per call; recording is on
+        # the per-request hot path, so resolve each handle once.  Benign
+        # races: both writers cache the same registry-owned object.
+        self._metric_cache: Dict[Any, Any] = {}
 
     def endpoint(self, name: str) -> EndpointStats:
         with self._lock:
-            if name not in self._endpoints:
-                self._endpoints[name] = EndpointStats()
-            return self._endpoints[name]
+            return self._endpoint_locked(name)
+
+    def _endpoint_locked(self, name: str) -> EndpointStats:
+        """Get-or-create one endpoint's stats; caller holds the lock."""
+        stats = self._endpoints.get(name)
+        if stats is None:
+            stats = self._endpoints[name] = EndpointStats()
+        return stats
 
     def _both(self, name: str):
         """The endpoint's stats and the totals, under the lock."""
-        if name not in self._endpoints:
-            self._endpoints[name] = EndpointStats()
-        return self._endpoints[name], self.total
+        return self._endpoint_locked(name), self.total
+
+    def _latency_histogram(self, endpoint: str) -> Histogram:
+        histogram = self._metric_cache.get(("latency", endpoint))
+        if histogram is None:
+            histogram = self.metrics.histogram(
+                "repro_request_latency_seconds",
+                {"endpoint": endpoint},
+                description="recorded request latency per endpoint",
+            )
+            self._metric_cache[("latency", endpoint)] = histogram
+        return histogram
+
+    def _request_counters(self, name: str):
+        counters = self._metric_cache.get(("requests", name))
+        if counters is None:
+            labels = {"endpoint": name}
+            counters = (
+                self.metrics.counter(
+                    "repro_requests_total", labels,
+                    description="estimation requests per endpoint",
+                ),
+                self.metrics.counter(
+                    "repro_cache_hits_total", labels,
+                    description="curve-cache hits per endpoint",
+                ),
+                self.metrics.counter(
+                    "repro_cache_misses_total", labels,
+                    description="curve-cache misses per endpoint",
+                ),
+            )
+            self._metric_cache[("requests", name)] = counters
+        return counters
 
     def record_requests(self, name: str, count: int, hits: int, misses: int) -> None:
         with self._lock:
@@ -113,6 +193,13 @@ class ServingTelemetry:
                 stats.requests += count
                 stats.cache_hits += hits
                 stats.cache_misses += misses
+        if metrics_enabled():
+            requests_total, hits_total, misses_total = self._request_counters(name)
+            requests_total.inc(count)
+            if hits:
+                hits_total.inc(hits)
+            if misses:
+                misses_total.inc(misses)
 
     def record_batch(self, name: str, batch_size: int) -> None:
         with self._lock:
@@ -124,7 +211,10 @@ class ServingTelemetry:
     def record_latency(self, name: str, seconds: float) -> None:
         with self._lock:
             for stats in self._both(name):
-                stats.latency_seconds += seconds
+                stats.record_duration(seconds)
+        if metrics_enabled():
+            self._latency_histogram(name).observe(seconds)
+            self._latency_histogram("total").observe(seconds)
 
     def record_auto_flush_failure(self, name: str) -> None:
         """Count one deferred micro-batch whose auto-flush raised."""
@@ -140,12 +230,26 @@ class ServingTelemetry:
         adding them would double-count every parallel request.
         """
         with self._lock:
-            endpoint = f"pool:{pool_name}"
-            if endpoint not in self._endpoints:
-                self._endpoints[endpoint] = EndpointStats()
-            stats = self._endpoints[endpoint]
+            stats = self._endpoint_locked(f"pool:{pool_name}")
             stats.requests += 1
-            stats.latency_seconds += seconds
+            stats.record_duration(seconds)
+        if metrics_enabled():
+            pool_metrics = self._metric_cache.get(("pool", pool_name))
+            if pool_metrics is None:
+                labels = {"pool": pool_name}
+                pool_metrics = (
+                    self.metrics.counter(
+                        "repro_pool_tasks_total", labels,
+                        description="completed worker-pool tasks per pool",
+                    ),
+                    self.metrics.histogram(
+                        "repro_pool_task_seconds", labels,
+                        description="worker-pool task wall-time per pool",
+                    ),
+                )
+                self._metric_cache[("pool", pool_name)] = pool_metrics
+            pool_metrics[0].inc()
+            pool_metrics[1].observe(seconds)
 
     def record_observation(self, name: str, estimated: float, actual: float) -> float:
         """Feed one estimated-vs-actual cardinality pair into the drift stats.
@@ -159,6 +263,16 @@ class ServingTelemetry:
                 stats.observations += 1
                 stats.q_error_sum += error
                 stats.q_error_max = max(stats.q_error_max, error)
+        if metrics_enabled():
+            histogram = self._metric_cache.get(("q_error", name))
+            if histogram is None:
+                histogram = self.metrics.histogram(
+                    "repro_q_error", {"endpoint": name},
+                    description="estimated-vs-actual q-error per endpoint",
+                    buckets=DEFAULT_Q_ERROR_BUCKETS,
+                )
+                self._metric_cache[("q_error", name)] = histogram
+            histogram.observe(error)
         return error
 
     def record_drift(self, name: str) -> None:
@@ -166,18 +280,45 @@ class ServingTelemetry:
         with self._lock:
             for stats in self._both(name):
                 stats.drift_events += 1
+        if metrics_enabled():
+            self.metrics.counter(
+                "repro_drift_events_total", {"endpoint": name},
+                description="drift-threshold crossings per endpoint",
+            ).inc()
+
+    def _percentiles_for(self, endpoint: str) -> Optional[Dict[str, float]]:
+        histogram = self.metrics.get(
+            "repro_request_latency_seconds", {"endpoint": endpoint}
+        )
+        if not isinstance(histogram, Histogram) or histogram.count == 0:
+            return None
+        return histogram.percentiles()
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         with self._lock:
             report = {"total": self.total.snapshot()}
             for name, stats in sorted(self._endpoints.items()):
                 report[name] = stats.snapshot()
-            return report
+        # Percentiles come from the registry histograms (outside the flat
+        # lock — the registry has its own), keyed latency_p50/p95/p99.
+        for name, entry in report.items():
+            quantiles = self._percentiles_for(name)
+            if quantiles is not None:
+                entry["latency_p50"] = quantiles["p50"]
+                entry["latency_p95"] = quantiles["p95"]
+                entry["latency_p99"] = quantiles["p99"]
+        return report
+
+    def to_prometheus(self) -> str:
+        """The attached registry in Prometheus text exposition format."""
+        return self.metrics.to_prometheus()
 
     def reset(self) -> None:
         with self._lock:
             self._endpoints.clear()
             self.total = EndpointStats()
+            self.metrics = MetricsRegistry()
+            self._metric_cache = {}
 
     # ------------------------------------------------------------------ #
     # Snapshot hooks (repro.store) — counters persist, the lock does not.
@@ -185,8 +326,13 @@ class ServingTelemetry:
     def __snapshot_state__(self) -> Dict[str, Any]:
         state = dict(self.__dict__)
         state.pop("_lock", None)
+        state.pop("_metric_cache", None)  # handles re-resolve lazily
         return state
 
     def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
+        # Snapshots written before the metrics rebase carry no registry.
+        if "metrics" not in self.__dict__:
+            self.metrics = MetricsRegistry()
+        self._metric_cache = {}
         self._lock = threading.Lock()

@@ -28,12 +28,15 @@ served curves.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..datasets.updates import UpdateOperation, apply_operation
+from ..obs.metrics import current_registry, metrics_enabled
+from ..obs.trace import span
 from ..runtime import POOL_BACKENDS, Runtime, default_runtime
 from ..selection.base import SimilaritySelector
 from ..store.plane import PlaneHandle, SharedDataPlane, cached_rebuild
@@ -52,21 +55,28 @@ SHARD_POOL = "shards"
 SHARD_PROCESS_POOL = "shards-proc"
 
 
-def _plane_shard_task(
-    handle: PlaneHandle, selector_cls: type, op: str, payload: Tuple
-) -> Any:
-    """One shard's work inside a worker process.
+def _record_shard_op(op: str, shard_id: int, seconds: float) -> None:
+    """Count one shard task into the ambient registry (op + shard labelled).
 
-    Module-level (picklable) by construction.  The selector is rebuilt from
-    the plane's mmap'd arrays at most once per (shard, process) via
-    :func:`~repro.store.cached_rebuild`; after that warm-up every task is
-    pure compute over shared pages.
+    ``current_registry()`` is the routing trick that makes both backends
+    land in the same place: on worker threads the pool pushes its telemetry
+    registry, in forked children it is the per-task scratch registry whose
+    state merges back with the result.
     """
-    selector = cached_rebuild(
-        handle,
-        selector_cls.__qualname__,
-        lambda arrays, meta: selector_cls.from_arrays(arrays, meta),
-    )
+    labels = {"op": op, "shard": shard_id}
+    registry = current_registry()
+    registry.counter(
+        "repro_shard_tasks_total", labels,
+        description="shard fan-out tasks per op and shard",
+    ).inc()
+    registry.histogram(
+        "repro_shard_task_seconds", labels,
+        description="shard fan-out task wall-time per op and shard",
+    ).observe(seconds)
+
+
+def _run_shard_op(selector: SimilaritySelector, op: str, payload: Tuple) -> Any:
+    """Dispatch one shard op against one shard's selector."""
     if op == "query":
         record, threshold = payload
         return selector.query(record, threshold)
@@ -85,6 +95,32 @@ def _plane_shard_task(
             record, np.asarray(thresholds, dtype=np.float64)
         )
     raise ValueError(f"unknown shard op {op!r}")
+
+
+def _plane_shard_task(
+    handle: PlaneHandle, selector_cls: type, op: str, shard_id: int, payload: Tuple
+) -> Any:
+    """One shard's work inside a worker process.
+
+    Module-level (picklable) by construction.  The selector is rebuilt from
+    the plane's mmap'd arrays at most once per (shard, process) via
+    :func:`~repro.store.cached_rebuild`; after that warm-up every task is
+    pure compute over shared pages.  The ``shard.task`` span lands under the
+    child's ``process.task`` root when the query is traced, and the shard-op
+    metrics land in the child's per-task registry — both ride back to the
+    parent with the result.
+    """
+    selector = cached_rebuild(
+        handle,
+        selector_cls.__qualname__,
+        lambda arrays, meta: selector_cls.from_arrays(arrays, meta),
+    )
+    started = time.perf_counter()
+    with span("shard.task", op=op, shard=shard_id):
+        result = _run_shard_op(selector, op, payload)
+    if metrics_enabled():
+        _record_shard_op(op, shard_id, time.perf_counter() - started)
+    return result
 
 
 @dataclass
@@ -183,7 +219,21 @@ class ShardedSelector(SimilaritySelector):
     # ------------------------------------------------------------------ #
     # Parallel fan-out
     # ------------------------------------------------------------------ #
-    def _map_shards(self, task: Callable[[SimilaritySelector], Any]) -> List[Any]:
+    def _shard_call(
+        self, op: str, shard_id: int, shard: SimilaritySelector,
+        task: Callable[[SimilaritySelector], Any],
+    ) -> Any:
+        """Run one shard's task under a ``shard.task`` span + op metrics."""
+        started = time.perf_counter()
+        with span("shard.task", op=op, shard=shard_id):
+            result = task(shard)
+        if metrics_enabled():
+            _record_shard_op(op, shard_id, time.perf_counter() - started)
+        return result
+
+    def _map_shards(
+        self, op: str, task: Callable[[SimilaritySelector], Any]
+    ) -> List[Any]:
         """Run ``task`` on every shard selector, in parallel when enabled.
 
         Thread parallelism pays off because the shard kernels are numpy
@@ -192,12 +242,27 @@ class ShardedSelector(SimilaritySelector):
         fan-out runs on the runtime's shared :data:`SHARD_POOL` — acquired
         lazily, so a freshly restored selector (whose runtime dropped its
         pools at save) just rebuilds it on the first parallel query.
+
+        Submission is shard-id-aware (each task knows which shard it covers,
+        for spans and metrics) but keeps ``pool.map``'s error contract: every
+        handle resolves before the first failure re-raises.
         """
         if not self.parallel or self.num_shards == 1:
-            return [task(shard) for shard in self._shards]
+            return [
+                self._shard_call(op, shard_id, shard, task)
+                for shard_id, shard in enumerate(self._shards)
+            ]
         runtime = self.runtime if self.runtime is not None else default_runtime()
         pool = runtime.pool(SHARD_POOL, num_workers=self.num_shards)
-        return pool.map(task, self._shards)
+        handles = [
+            pool.submit(self._shard_call, op, shard_id, shard, task)
+            for shard_id, shard in enumerate(self._shards)
+        ]
+        errors = [handle.exception() for handle in handles]
+        for error in errors:
+            if error is not None:
+                raise error
+        return [handle.result() for handle in handles]
 
     def _ensure_planes(self) -> Optional[List[Tuple[PlaneHandle, type]]]:
         """Publish every shard's arrays once; ``None`` = thread fallback.
@@ -250,14 +315,14 @@ class ShardedSelector(SimilaritySelector):
         selector code, so their results are interchangeable bit for bit."""
         planes = self._ensure_planes()
         if planes is None:
-            return self._map_shards(task)
+            return self._map_shards(op, task)
         runtime = self.runtime if self.runtime is not None else default_runtime()
         pool = runtime.pool(
             SHARD_PROCESS_POOL, num_workers=self.num_shards, backend="process"
         )
         handles = [
-            pool.submit(_plane_shard_task, handle, selector_cls, op, payload)
-            for handle, selector_cls in planes
+            pool.submit(_plane_shard_task, handle, selector_cls, op, shard_id, payload)
+            for shard_id, (handle, selector_cls) in enumerate(planes)
         ]
         return [handle.result() for handle in handles]
 

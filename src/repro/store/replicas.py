@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.trace import span
 from ..runtime import POOL_BACKENDS, Runtime, fork_available
 from ..serving import ServingTelemetry
 from .format import PathLike
@@ -212,46 +213,53 @@ class ReplicaSet:
         def run(share: "Tuple[int, List[int]]"):
             index, positions = share
             start = time.perf_counter()
-            try:
-                answered = self.replicas[index].execute_many(
-                    [queries[i] for i in positions]
-                )
-            except Exception as error:  # re-raised on the caller's thread
-                return index, positions, error, time.perf_counter() - start
+            with span("replica.share", replica=index, queries=len(positions)):
+                try:
+                    answered = self.replicas[index].execute_many(
+                        [queries[i] for i in positions]
+                    )
+                except Exception as error:  # re-raised on the caller's thread
+                    return index, positions, error, time.perf_counter() - start
             return index, positions, answered, time.perf_counter() - start
 
-        if self.backend == "process":
-            # Each share ships (snapshot path, queries) to a forked worker;
-            # the worker mmap-loads the engine once and executes on its own
-            # core.  Elapsed includes queue wait — the latency the caller saw.
-            pool = self.runtime.pool(
-                REPLICA_PROCESS_POOL,
-                num_workers=self.num_replicas,
-                backend="process",
-            )
-            submitted = []
-            for index, positions in shares:
-                start = time.perf_counter()
-                handle = pool.submit(
-                    _execute_replica_share,
-                    self.snapshot_path,
-                    [queries[i] for i in positions],
+        with span("replica.fanout", shares=len(shares), backend=self.backend):
+            if self.backend == "process":
+                # Each share ships (snapshot path, queries) to a forked
+                # worker; the worker mmap-loads the engine once and executes
+                # on its own core.  Elapsed includes queue wait — the latency
+                # the caller saw.  Trace context rides the task envelope, so
+                # the workers' spans re-parent under this fan-out when traced.
+                pool = self.runtime.pool(
+                    REPLICA_PROCESS_POOL,
+                    num_workers=self.num_replicas,
+                    backend="process",
                 )
-                submitted.append((index, positions, start, handle))
-            outcomes = []
-            for index, positions, start, handle in submitted:
-                try:
-                    answered: Any = handle.result()
-                except Exception as error:  # accounted below like thread errors
-                    answered = error
-                outcomes.append((index, positions, answered, time.perf_counter() - start))
-        elif len(shares) <= 1:
-            outcomes = [run(share) for share in shares]
-        else:
-            # Shared runtime pool, rebuilt lazily after a restore (``run``
-            # returns errors as values, so map() itself never raises here).
-            pool = self.runtime.pool(REPLICA_POOL, num_workers=self.num_replicas)
-            outcomes = pool.map(run, shares)
+                submitted = []
+                for index, positions in shares:
+                    start = time.perf_counter()
+                    handle = pool.submit(
+                        _execute_replica_share,
+                        self.snapshot_path,
+                        [queries[i] for i in positions],
+                    )
+                    submitted.append((index, positions, start, handle))
+                outcomes = []
+                for index, positions, start, handle in submitted:
+                    try:
+                        answered: Any = handle.result()
+                    except Exception as error:  # accounted like thread errors
+                        answered = error
+                    outcomes.append(
+                        (index, positions, answered, time.perf_counter() - start)
+                    )
+            elif len(shares) <= 1:
+                outcomes = [run(share) for share in shares]
+            else:
+                # Shared runtime pool, rebuilt lazily after a restore (``run``
+                # returns errors as values, so map() itself never raises
+                # here).
+                pool = self.runtime.pool(REPLICA_POOL, num_workers=self.num_replicas)
+                outcomes = pool.map(run, shares)
         # Telemetry is recorded on the caller's thread so routing counters
         # and telemetry move together.  A failing share fails
         # the batch, but only AFTER every share finished: successful shares

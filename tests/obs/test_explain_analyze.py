@@ -1,0 +1,257 @@
+"""Engine.explain_analyze: per-predicate estimated-vs-actual reports, span
+trees covering the shard fan-out (both backends), the slow-query ring, and
+the tracing-never-changes-results guarantee."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import UniformSamplingEstimator
+from repro.engine import ConjunctiveQuery, SimilarityPredicate, SimilarityQueryEngine
+from repro.obs import SlowQueryLog, disable_tracing, enable_tracing
+from repro.runtime import fork_available
+
+RNG = np.random.default_rng(31)
+
+NUM_ROWS = 90
+
+
+def sampling_factory(distance_name, **options):
+    def factory(shard_records, shard_index):
+        return UniformSamplingEstimator(
+            shard_records, distance_name, seed=shard_index, **options
+        )
+
+    return factory
+
+
+def _build_engine(backend="thread", **engine_kwargs):
+    """Two euclidean attributes over one relation: 'vec' sharded 3 ways on
+    the requested backend, 'aux' unsharded."""
+    vec = [row for row in RNG.normal(size=(NUM_ROWS, 8))]
+    aux = [row for row in RNG.normal(size=(NUM_ROWS, 4))]
+    engine = SimilarityQueryEngine(**engine_kwargs)
+    engine.register_sharded_attribute(
+        "vec",
+        vec,
+        "euclidean",
+        sampling_factory("euclidean", sample_ratio=0.3),
+        num_shards=3,
+        theta_max=6.0,
+        backend=backend,
+    )
+    engine.register_attribute(
+        "aux",
+        aux,
+        "euclidean",
+        UniformSamplingEstimator(aux, "euclidean", sample_ratio=0.3, seed=0),
+        theta_max=4.0,
+    )
+    return engine, vec, aux
+
+
+def _two_predicate_query(vec, aux, index=0):
+    return ConjunctiveQuery(
+        [
+            SimilarityPredicate("vec", vec[index], 3.0),
+            SimilarityPredicate("aux", aux[index], 2.5),
+        ]
+    )
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestReportContents:
+    def test_two_predicate_report_pairs_estimates_with_actuals(self):
+        engine, vec, aux = _build_engine()
+        try:
+            report = engine.explain_analyze(_two_predicate_query(vec, aux))
+            assert report.result_count >= 1  # the query record matches itself
+            assert {p.role for p in report.predicates} == {"driver", "residual"}
+            assert {p.attribute for p in report.predicates} == {"vec", "aux"}
+            for predicate in report.predicates:
+                assert predicate.estimated > 0.0
+                # The conjunction is an intersection: every single predicate
+                # matches at least every row the full query returned.
+                assert predicate.actual >= report.result_count
+                assert predicate.q_error >= 1.0
+            assert report.driver is not None
+            assert report.plan["driver"] in ("vec", "aux")
+            assert report.plan["execution_seconds"] > 0.0
+            as_dict = report.to_dict()
+            assert len(as_dict["predicates"]) == 2
+            assert as_dict["trace"]["name"] == "query.explain_analyze"
+        finally:
+            engine.runtime.shutdown()
+
+    def test_trace_covers_planning_and_execution_stages(self):
+        engine, vec, aux = _build_engine()
+        try:
+            report = engine.explain_analyze(_two_predicate_query(vec, aux))
+            stages = report.stage_seconds()
+            for stage in (
+                "query.explain_analyze",
+                "query.plan",
+                "query.execute",
+                "execute.driver",
+                "execute.verify",
+                "analyze.actuals",
+            ):
+                assert stage in stages, f"missing stage {stage}"
+            rendered = report.describe()
+            assert "EXPLAIN ANALYZE" in rendered
+            assert "q-err=" in rendered
+            assert "query.plan" in rendered
+        finally:
+            engine.runtime.shutdown()
+
+    def test_thread_backend_records_per_shard_spans(self):
+        engine, vec, aux = _build_engine()
+        try:
+            report = engine.explain_analyze(_two_predicate_query(vec, aux))
+            # 'vec' fans out either as the driver scan or as the residual
+            # actual-cardinality measurement — shard spans appear either way.
+            shard_spans = report.shard_spans()
+            assert {s.attributes["shard"] for s in shard_spans} == {0, 1, 2}
+            assert all(s.duration is not None for s in shard_spans)
+        finally:
+            engine.runtime.shutdown()
+
+    def test_gph_hamming_report_carries_the_allocation(self):
+        records = [row for row in RNG.integers(0, 2, size=(80, 24)).astype(np.uint8)]
+        engine = SimilarityQueryEngine()
+        engine.register_attribute(
+            "bits",
+            records,
+            "hamming",
+            UniformSamplingEstimator(records, "hamming", sample_ratio=0.3, seed=0),
+            theta_max=12.0,
+            gph_part_size=8,
+        )
+        try:
+            report = engine.explain_analyze(
+                SimilarityPredicate("bits", records[0], 6.0)
+            )
+            assert report.plan["allocation"] is not None
+            assert "plan.gph" in report.stage_seconds()
+            (driver,) = report.predicates
+            assert driver.role == "driver"
+            assert driver.actual >= 1
+        finally:
+            engine.runtime.shutdown()
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+class TestProcessBackendReport:
+    def test_shard_spans_come_from_forked_children(self):
+        engine, vec, aux = _build_engine(backend="process")
+        try:
+            # Warm once so the report's fan-out runs on an already-published
+            # plane; then the traced query.
+            engine.execute(_two_predicate_query(vec, aux, index=1))
+            report = engine.explain_analyze(_two_predicate_query(vec, aux))
+            assert {p.role for p in report.predicates} == {"driver", "residual"}
+            process_spans = report.process_spans()
+            assert process_spans, "no child spans rode back"
+            assert all(s.pid != os.getpid() for s in process_spans)
+            shard_spans = report.shard_spans()
+            assert {s.attributes["shard"] for s in shard_spans} == {0, 1, 2}
+            # Every shard span sits inside some child process span.
+            child_shards = [
+                node for proc in process_spans for node in proc.find("shard.task")
+            ]
+            assert len(child_shards) == len(shard_spans)
+        finally:
+            engine.runtime.shutdown()
+
+
+class TestResultsUnchanged:
+    def test_explain_analyze_matches_execute(self):
+        engine, vec, aux = _build_engine()
+        try:
+            query = _two_predicate_query(vec, aux)
+            expected = engine.execute(query)
+            report = engine.explain_analyze(query, feedback=False)
+            assert report.result_count == len(expected.record_ids)
+        finally:
+            engine.runtime.shutdown()
+
+    def test_tracing_does_not_change_results(self):
+        engine, vec, aux = _build_engine()
+        try:
+            query = _two_predicate_query(vec, aux)
+            untraced = engine.execute(query)
+            enable_tracing()
+            try:
+                traced = engine.execute(query)
+            finally:
+                disable_tracing()
+            assert traced.record_ids == untraced.record_ids
+            assert traced.driver_actual == untraced.driver_actual
+        finally:
+            engine.runtime.shutdown()
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters_entries(self):
+        log = SlowQueryLog(threshold_seconds=10.0, capacity=4)
+        assert not log.record({"duration_seconds": 0.01})
+        assert len(log) == 0
+        assert log.record({"duration_seconds": 11.0})
+        assert len(log) == 1
+
+    def test_capacity_bounds_the_ring(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=2)
+        for index in range(5):
+            log.record({"duration_seconds": 1.0, "index": index})
+        entries = log.entries()
+        assert len(entries) == 2
+        assert [entry["index"] for entry in entries] == [3, 4]  # oldest dropped
+        log.clear()
+        assert len(log) == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+    def test_engine_records_slow_queries(self):
+        engine, vec, aux = _build_engine(slow_query_seconds=0.0, slow_query_capacity=8)
+        try:
+            for index in (0, 1, 2):
+                engine.execute(_two_predicate_query(vec, aux, index=index))
+            entries = engine.slow_queries.entries()
+            assert len(entries) == 3
+            entry = entries[0]
+            assert entry["duration_seconds"] > 0.0
+            assert entry["driver"] in ("vec", "aux")
+            assert sorted(attr for attr, _ in entry["predicates"]) == ["aux", "vec"]
+            assert "result_count" in entry and "estimated" in entry
+        finally:
+            engine.runtime.shutdown()
+
+    def test_quiet_engine_keeps_an_empty_ring(self):
+        engine, vec, aux = _build_engine(slow_query_seconds=30.0)
+        try:
+            engine.execute(_two_predicate_query(vec, aux))
+            assert len(engine.slow_queries) == 0
+        finally:
+            engine.runtime.shutdown()
+
+    def test_snapshot_hooks_roundtrip(self):
+        log = SlowQueryLog(threshold_seconds=0.5, capacity=3)
+        log.record({"duration_seconds": 1.0, "driver": "vec"})
+        state = log.__snapshot_state__()
+        restored = SlowQueryLog.__new__(SlowQueryLog)
+        restored.__snapshot_restore__(state)
+        assert restored.threshold_seconds == 0.5
+        assert restored.entries() == log.entries()
+        restored.record({"duration_seconds": 2.0})  # lock rebuilt
+        assert len(restored) == 2

@@ -1,0 +1,154 @@
+"""ServingTelemetry on the metrics registry: the flat-counter API is
+unchanged, percentiles and Prometheus exposition come from the registry, and
+snapshot restore tolerates pre-rebase states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Histogram, disable_metrics, enable_metrics
+from repro.serving.telemetry import EndpointStats, ServingTelemetry
+
+
+@pytest.fixture(autouse=True)
+def _metrics_on():
+    enable_metrics()
+    yield
+    enable_metrics()
+
+
+class TestEndpointStats:
+    def test_record_duration_tracks_sum_and_max(self):
+        stats = EndpointStats()
+        stats.record_duration(0.2)
+        stats.record_duration(0.5)
+        stats.record_duration(0.1)
+        assert stats.latency_seconds == pytest.approx(0.8)
+        assert stats.max_latency_seconds == 0.5
+        assert stats.snapshot()["max_latency_seconds"] == 0.5
+
+    def test_restore_tolerates_states_missing_new_fields(self):
+        stats = EndpointStats.__new__(EndpointStats)
+        stats.__snapshot_restore__({"requests": 7, "latency_seconds": 1.5})
+        assert stats.requests == 7
+        assert stats.latency_seconds == 1.5
+        assert stats.max_latency_seconds == 0.0  # defaulted, not KeyError
+        assert stats.drift_events == 0
+
+
+class TestRegistryFeeds:
+    def test_requests_feed_labelled_counters(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_requests("euclid", count=5, hits=3, misses=2)
+        assert telemetry.endpoint("euclid").requests == 5
+        assert telemetry.total.requests == 5
+        metrics = telemetry.metrics
+        labels = {"endpoint": "euclid"}
+        assert metrics.get("repro_requests_total", labels).value == 5.0
+        assert metrics.get("repro_cache_hits_total", labels).value == 3.0
+        assert metrics.get("repro_cache_misses_total", labels).value == 2.0
+
+    def test_latency_feeds_endpoint_and_total_histograms(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_latency("euclid", 0.004)
+        telemetry.record_latency("euclid", 0.04)
+        for endpoint in ("euclid", "total"):
+            histogram = telemetry.metrics.get(
+                "repro_request_latency_seconds", {"endpoint": endpoint}
+            )
+            assert isinstance(histogram, Histogram)
+            assert histogram.count == 2
+
+    def test_snapshot_reports_latency_percentiles(self):
+        telemetry = ServingTelemetry()
+        for _ in range(20):
+            telemetry.record_latency("euclid", 0.002)
+        report = telemetry.snapshot()
+        for name in ("euclid", "total"):
+            entry = report[name]
+            assert entry["latency_p50"] <= entry["latency_p95"] <= entry["latency_p99"]
+            assert 0.0 < entry["latency_p50"] < 0.01
+        # Endpoints that never recorded a latency get no percentile keys.
+        telemetry.record_requests("cold", 1, 0, 1)
+        assert "latency_p50" not in telemetry.snapshot()["cold"]
+
+    def test_pool_tasks_share_the_endpoint_helper_and_track_max(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_pool_task("shards", 0.01)
+        telemetry.record_pool_task("shards", 0.03)
+        stats = telemetry.endpoint("pool:shards")
+        assert stats.requests == 2
+        assert stats.latency_seconds == pytest.approx(0.04)
+        assert stats.max_latency_seconds == 0.03
+        # Pool tasks never inflate the client-facing totals.
+        assert telemetry.total.requests == 0
+        labels = {"pool": "shards"}
+        assert telemetry.metrics.get("repro_pool_tasks_total", labels).value == 2.0
+        assert telemetry.metrics.get("repro_pool_task_seconds", labels).count == 2
+
+    def test_observation_feeds_q_error_histogram(self):
+        telemetry = ServingTelemetry()
+        error = telemetry.record_observation("euclid", estimated=10, actual=5)
+        assert error == 2.0
+        histogram = telemetry.metrics.get("repro_q_error", {"endpoint": "euclid"})
+        assert histogram.count == 1
+        assert histogram.max == 2.0
+
+    def test_drift_feeds_counter(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_drift("euclid")
+        assert (
+            telemetry.metrics.get(
+                "repro_drift_events_total", {"endpoint": "euclid"}
+            ).value
+            == 1.0
+        )
+
+    def test_kill_switch_skips_registry_but_keeps_flat_counters(self):
+        telemetry = ServingTelemetry()
+        disable_metrics()
+        try:
+            telemetry.record_requests("euclid", 2, 1, 1)
+            telemetry.record_latency("euclid", 0.01)
+            telemetry.record_pool_task("shards", 0.01)
+        finally:
+            enable_metrics()
+        assert telemetry.endpoint("euclid").requests == 2
+        assert telemetry.endpoint("pool:shards").max_latency_seconds == 0.01
+        assert len(telemetry.metrics) == 0
+
+    def test_to_prometheus_delegates_to_registry(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_requests("euclid", 1, 1, 0)
+        text = telemetry.to_prometheus()
+        assert 'repro_requests_total{endpoint="euclid"} 1' in text
+
+    def test_reset_clears_registry_too(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_requests("euclid", 1, 1, 0)
+        telemetry.reset()
+        assert len(telemetry.metrics) == 0
+        assert telemetry.snapshot() == {"total": telemetry.total.snapshot()}
+
+
+class TestSnapshotHooks:
+    def test_state_roundtrip_drops_and_rebuilds_lock(self):
+        telemetry = ServingTelemetry()
+        telemetry.record_requests("euclid", 3, 2, 1)
+        telemetry.record_latency("euclid", 0.01)
+        state = telemetry.__snapshot_state__()
+        assert "_lock" not in state
+        restored = ServingTelemetry.__new__(ServingTelemetry)
+        restored.__snapshot_restore__(state)
+        restored.record_requests("euclid", 1, 0, 1)  # lock works again
+        assert restored.endpoint("euclid").requests == 4
+
+    def test_restore_defaults_registry_for_pre_rebase_states(self):
+        restored = ServingTelemetry.__new__(ServingTelemetry)
+        restored.__snapshot_restore__(
+            {"_endpoints": {}, "total": EndpointStats()}
+        )
+        restored.record_latency("euclid", 0.01)
+        assert restored.metrics.get(
+            "repro_request_latency_seconds", {"endpoint": "euclid"}
+        ).count == 1

@@ -1,0 +1,223 @@
+"""Trace layer: span trees, the off-by-default no-op path, and propagation
+through worker pools — threads and forked children alike."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    Span,
+    activate,
+    capture_context,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    span,
+    start_trace,
+    tracing_enabled,
+)
+from repro.runtime import WorkerPool, fork_available
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts (and leaves) with global tracing disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestSpanTree:
+    def test_nested_spans_build_a_tree(self):
+        with start_trace("root") as root:
+            assert current_span() is root
+            with span("child-a") as a:
+                with span("leaf") as leaf:
+                    assert current_span() is leaf
+            with span("child-b"):
+                pass
+        assert current_span() is None
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in a.children] == ["leaf"]
+        assert root.duration is not None and root.duration >= 0.0
+        assert leaf.trace_id == root.trace_id
+        assert leaf.parent_id == a.span_id
+
+    def test_attributes_and_find(self):
+        with start_trace("root") as root:
+            with span("work", shard=3) as node:
+                node.set(rows=7)
+        found = root.find("work")
+        assert len(found) == 1
+        assert found[0].attributes == {"shard": 3, "rows": 7}
+        assert [s.name for s in root.iter_spans()] == ["root", "work"]
+
+    def test_exception_sets_error_attribute(self):
+        with pytest.raises(ValueError):
+            with start_trace("root") as root:
+                with span("explode"):
+                    raise ValueError("boom")
+        (failed,) = root.find("explode")
+        assert "boom" in failed.attributes["error"]
+        assert failed.duration is not None
+
+    def test_to_dict_and_tree_render(self):
+        with start_trace("root") as root:
+            with span("inner", k="v"):
+                pass
+        as_dict = root.to_dict()
+        assert as_dict["name"] == "root"
+        assert as_dict["children"][0]["attributes"] == {"k": "v"}
+        rendered = root.tree()
+        assert "root" in rendered and "inner" in rendered
+
+    def test_spans_pickle(self):
+        with start_trace("root") as root:
+            with span("inner"):
+                pass
+        clone = pickle.loads(pickle.dumps(root))
+        assert clone.name == "root"
+        assert clone.children[0].name == "inner"
+        assert clone.span_id == root.span_id
+
+    def test_adopt_reparents_a_subtree(self):
+        foreign = Span("process.task")
+        foreign.child("shard.task").finish()
+        foreign.finish()
+        with start_trace("root") as root:
+            with span("pool.task") as task:
+                task.adopt(foreign)
+        assert foreign.parent_id == task.span_id
+        assert foreign.trace_id == root.trace_id
+        assert root.find("shard.task")
+
+
+class TestDisabledPath:
+    def test_spans_are_noops_when_off(self):
+        assert not tracing_enabled()
+        with span("anything") as node:
+            assert node is NOOP_SPAN
+            with span("nested") as inner:
+                assert inner is NOOP_SPAN
+        assert current_span() is None
+        assert NOOP_SPAN.set(a=1) is NOOP_SPAN
+        assert NOOP_SPAN.find("anything") == []
+        assert list(NOOP_SPAN.iter_spans()) == []
+        assert NOOP_SPAN.children == []
+
+    def test_enable_disable_toggle(self):
+        enable_tracing()
+        try:
+            with span("now-recorded") as node:
+                assert isinstance(node, Span)
+        finally:
+            disable_tracing()
+        with span("off-again") as node:
+            assert node is NOOP_SPAN
+
+    def test_start_trace_forces_recording_while_off(self):
+        with start_trace("forced") as root:
+            assert isinstance(root, Span)
+            with span("child") as child:
+                assert isinstance(child, Span)
+        assert root.children == [child]
+
+    def test_env_flag_enables_tracing(self):
+        script = textwrap.dedent(
+            """
+            from repro.obs import tracing_enabled, span, Span
+            assert tracing_enabled()
+            with span("root") as node:
+                assert isinstance(node, Span)
+            print("traced-ok")
+            """
+        )
+        env = dict(os.environ, REPRO_TRACE="1")
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        done = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert done.returncode == 0, done.stderr
+        assert "traced-ok" in done.stdout
+
+
+class TestActivation:
+    def test_activate_restores_previous_context(self):
+        with start_trace("root") as root:
+            captured = capture_context()
+            assert captured is root
+        assert current_span() is None
+        with activate(captured):
+            assert current_span() is captured
+            with span("late") as late:
+                assert late.parent_id == captured.span_id
+        assert current_span() is None
+
+
+class TestPoolPropagation:
+    def test_thread_pool_tasks_join_the_submitters_trace(self):
+        pool = WorkerPool("trace-threads", 2)
+        try:
+            def work(i):
+                with span("inner", index=i):
+                    return i * i
+
+            with start_trace("root") as root:
+                handles = [pool.submit(work, i) for i in range(5)]
+                assert [h.result() for h in handles] == [0, 1, 4, 9, 16]
+            tasks = root.find("pool.task")
+            inners = root.find("inner")
+            assert len(tasks) == 5 and len(inners) == 5
+            assert {s.attributes["pool"] for s in tasks} == {"trace-threads"}
+            assert sorted(s.attributes["index"] for s in inners) == list(range(5))
+        finally:
+            pool.shutdown()
+
+    def test_untraced_tasks_record_nothing(self):
+        pool = WorkerPool("trace-none", 1)
+        try:
+            assert pool.submit(lambda: 41).result() == 41
+        finally:
+            pool.shutdown()
+        assert current_span() is None
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+class TestProcessPropagation:
+    def test_child_spans_ride_back_and_reparent(self):
+        pool = WorkerPool("trace-procs", 2, backend="process")
+        try:
+            with start_trace("root") as root:
+                handles = [pool.submit(os.getpid) for _ in range(3)]
+                child_pids = {h.result() for h in handles}
+            assert os.getpid() not in child_pids
+            proc_spans = root.find("process.task")
+            assert len(proc_spans) == 3
+            assert {s.pid for s in proc_spans} <= child_pids
+            for node in proc_spans:
+                assert node.trace_id == root.trace_id
+                assert node.duration is not None
+            # Each rode back under its parent-side pool.task span.
+            for task in root.find("pool.task"):
+                assert [c.name for c in task.children] == ["process.task"]
+        finally:
+            pool.shutdown()
+
+    def test_untraced_process_tasks_stay_spanless(self):
+        pool = WorkerPool("trace-procs-off", 1, backend="process")
+        try:
+            assert pool.submit(os.getpid).result() != os.getpid()
+        finally:
+            pool.shutdown()
+        assert current_span() is None
