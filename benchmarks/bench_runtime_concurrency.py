@@ -34,7 +34,7 @@ from artifacts import emit_json
 from repro.baselines.sampling import UniformSamplingEstimator
 from repro.datasets import make_binary_dataset, make_vector_dataset
 from repro.engine import ConjunctiveQuery, SimilarityPredicate, SimilarityQueryEngine
-from repro.runtime import WorkerPool
+from repro.runtime import PoolRejectedError, WorkerPool
 
 NUM_RECORDS = 5000
 NUM_QUERIES = 120
@@ -202,11 +202,14 @@ def test_backpressure_policies_account_for_every_submission(print_table):
             threading.Timer(0.05, gate.set).start()
             overflow = [pool.submit(lambda i=i: -i) for i in range(extra)]
         else:
+            rejected_submits = 0
             for i in range(extra):
                 try:
                     overflow.append(pool.submit(lambda i=i: -i))
-                except Exception:
-                    pass
+                except PoolRejectedError:
+                    # The rejection IS the measured outcome; the pool's own
+                    # stats["rejected"] counter is asserted against below.
+                    rejected_submits += 1
             gate.set()
         running.result(timeout=30)
         pool.drain(timeout=30)
@@ -217,7 +220,7 @@ def test_backpressure_policies_account_for_every_submission(print_table):
         assert stats["completed"] == admitted - stats["shed"]
         assert stats["submitted"] == admitted
         if policy == "reject":
-            assert stats["rejected"] == extra
+            assert stats["rejected"] == extra == rejected_submits
         if policy == "shed_oldest":
             assert stats["shed"] == extra
         outcomes[policy] = {

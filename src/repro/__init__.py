@@ -20,6 +20,9 @@ Public API highlights
 * :mod:`repro.obs` — observability: span traces across threads and forked
   workers, mergeable histogram metrics with Prometheus/JSON exposition, and
   ``Engine.explain_analyze``.
+* :mod:`repro.analysis` — AST contract linter enforcing the repo's
+  concurrency, snapshot, and determinism invariants
+  (``python -m repro.analysis src benchmarks tests``).
 """
 
 from .core import CardinalityEstimator, CardNet, CardNetConfig, CardNetEstimator

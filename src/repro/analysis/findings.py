@@ -1,0 +1,62 @@
+"""Finding and suppression records shared by every rule and the CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Code reported for a ``# repro: ignore[...]`` comment that matched nothing.
+UNUSED_SUPPRESSION_CODE = "RPR900"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# repro: ignore[RPR###, ...]`` comment.
+
+    ``line`` is the line the comment sits on; it silences matching findings on
+    that line and — when the comment is alone on its line — the next code
+    line, so a long statement can carry its suppression directly above.
+    """
+
+    path: str
+    line: int
+    codes: Tuple[str, ...]
+    reason: str = ""
+    standalone: bool = False
+    used_codes: set = field(default_factory=set)
+
+    def covers(self, finding: Finding, code_line_map: Optional[dict] = None) -> bool:
+        if finding.code not in self.codes:
+            return False
+        if finding.line == self.line:
+            return True
+        if self.standalone and code_line_map is not None:
+            return code_line_map.get(self.line) == finding.line
+        return False
+
+    @property
+    def unused_codes(self) -> Tuple[str, ...]:
+        return tuple(code for code in self.codes if code not in self.used_codes)

@@ -1,0 +1,91 @@
+"""RPR007 — arrays stored into caches are frozen first.
+
+PR 3's poisoned-curve bug: ``CurveCache.get`` hands the *same* ndarray to
+every future hit, so one caller mutating its result silently corrupted every
+later answer for that record.  The fix freezes on ``put``
+(``setflags(write=False)`` after owning the memory); this rule makes the
+pattern mandatory for every ``*Cache`` class — a subscript store into cache
+state must freeze the stored name in the same function first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from ..context import ContextVisitor
+
+#: Literal nodes that cannot be ndarrays — storing these needs no freeze.
+_NON_ARRAY_VALUES = (
+    ast.Constant,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.JoinedStr,
+)
+
+
+def _frozen_names(func: ast.AST) -> Set[str]:
+    """Names ``n`` with an ``n.setflags(write=False)`` call in ``func``."""
+    frozen: Set[str] = set()
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr != "setflags" or not isinstance(node.func.value, ast.Name):
+            continue
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "write"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            ):
+                frozen.add(node.func.value.id)
+    return frozen
+
+
+class FrozenCacheArrayRule(ContextVisitor):
+    """``self._store[key] = value`` in a ``*Cache`` class freezes value first."""
+
+    code = "RPR007"
+    name = "frozen-cache-arrays"
+    summary = "array stored into a cache without setflags(write=False)"
+    rationale = (
+        "PR 3's mutable cached curves: a served array mutated by one caller "
+        "poisoned every future cache hit for that record — frozen-on-put "
+        "turns that into an immediate ValueError at the mutation site."
+    )
+
+    def check_classdef(self, node: ast.ClassDef) -> None:
+        if "cache" not in node.name.lower():
+            return
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            frozen = _frozen_names(method)
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if not (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and isinstance(target.value.value, ast.Name)
+                        and target.value.value.id == "self"
+                    ):
+                        continue
+                    value = stmt.value
+                    if isinstance(value, _NON_ARRAY_VALUES):
+                        continue
+                    if isinstance(value, ast.Name) and value.id in frozen:
+                        continue
+                    store = f"self.{target.value.attr}[...]"
+                    self.report(
+                        stmt,
+                        f"{node.name}: {store} stores a value that was not "
+                        "frozen in this function — call "
+                        "value.setflags(write=False) (copy views first) so a "
+                        "caller mutating a served array raises instead of "
+                        "poisoning future hits",
+                    )

@@ -1,0 +1,36 @@
+"""RPR004 — durations come from monotonic clocks.
+
+Every latency histogram, span duration, and deadline in the repo rides
+``time.perf_counter()`` / ``time.monotonic()`` (the ``repro.obs`` timing
+contract): ``time.time()`` jumps under NTP adjustment, which turns a p99
+latency or a drain deadline into garbage exactly when the clock steps.
+Wall-clock timestamps for *labels* (not durations) are rare enough to carry
+an explicit suppression stating so.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..context import ContextVisitor
+
+
+class MonotonicTimeRule(ContextVisitor):
+    """No ``time.time()`` — durations use perf_counter/monotonic."""
+
+    code = "RPR004"
+    name = "monotonic-time"
+    summary = "time.time() used where a monotonic clock belongs"
+    rationale = (
+        "repro.obs pins all spans/histograms to perf_counter; time.time() "
+        "steps under NTP and corrupts durations and deadlines."
+    )
+
+    def check_call(self, node: ast.Call) -> None:
+        if self.ctx.resolve_name(node.func) == "time.time":
+            self.report(
+                node,
+                "time.time() is not monotonic — use time.perf_counter() for "
+                "durations or time.monotonic() for deadlines (suppress only "
+                "for genuine wall-clock timestamps)",
+            )

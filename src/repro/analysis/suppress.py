@@ -1,0 +1,109 @@
+"""Parse ``# repro: ignore[RPR###]`` comments and match them to findings.
+
+The comment silences findings on its own line; a comment alone on a line
+silences the next code line instead (for statements too long to carry a
+trailing comment).  Every suppression should state its reason after a dash::
+
+    except OSError:  # repro: ignore[RPR005] - best-effort cleanup
+
+Unused suppressions are reported as RPR900: a stale ``ignore`` silencing
+nothing is a lie about the code and must be deleted, otherwise it would
+grandfather in the next real violation on that line.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Tuple
+
+from .findings import UNUSED_SUPPRESSION_CODE, Finding, Suppression
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<codes>[A-Z0-9,\s]+)\]\s*(?:-\s*(?P<reason>.*))?"
+)
+
+
+def collect_suppressions(source: str, path: str) -> List[Suppression]:
+    suppressions: List[Suppression] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse
+        return suppressions  # errors are reported by the analyzer itself
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",") if code.strip()
+        )
+        line_no = token.start[0]
+        line_text = lines[line_no - 1] if line_no <= len(lines) else ""
+        standalone = line_text.strip().startswith("#")
+        suppressions.append(
+            Suppression(
+                path=path,
+                line=line_no,
+                codes=codes,
+                reason=(match.group("reason") or "").strip(),
+                standalone=standalone,
+            )
+        )
+    return suppressions
+
+
+def _next_code_lines(source: str) -> Dict[int, int]:
+    """Map each line number to the next line holding actual code."""
+    mapping: Dict[int, int] = {}
+    lines = source.splitlines()
+    code_lines = [
+        index + 1
+        for index, text in enumerate(lines)
+        if text.strip() and not text.strip().startswith("#")
+    ]
+    cursor = 0
+    for line_no in range(1, len(lines) + 1):
+        while cursor < len(code_lines) and code_lines[cursor] <= line_no:
+            cursor += 1
+        if cursor < len(code_lines):
+            mapping[line_no] = code_lines[cursor]
+    return mapping
+
+
+def apply_suppressions(
+    findings: List[Finding], suppressions: List[Suppression], source: str
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (active, suppressed); append RPR900 for stale ones.
+
+    Returns ``(active, suppressed)`` where ``active`` already includes one
+    RPR900 finding per suppression code that matched nothing.
+    """
+    code_line_map = _next_code_lines(source)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        matched = False
+        for suppression in suppressions:
+            if suppression.covers(finding, code_line_map):
+                suppression.used_codes.add(finding.code)
+                matched = True
+        (suppressed if matched else active).append(finding)
+    for suppression in suppressions:
+        for code in suppression.unused_codes:
+            active.append(
+                Finding(
+                    path=suppression.path,
+                    line=suppression.line,
+                    col=1,
+                    code=UNUSED_SUPPRESSION_CODE,
+                    message=(
+                        f"unused suppression: no {code} finding on this line "
+                        "— delete the ignore comment"
+                    ),
+                )
+            )
+    return active, suppressed

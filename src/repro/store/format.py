@@ -445,8 +445,8 @@ def write_snapshot(path: PathLike, manifest: SnapshotManifest, payload: bytes) -
         if stale.name not in (manifest.payload_file, MANIFEST_FILENAME):
             try:
                 stale.unlink()
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
+            except OSError:  # repro: ignore[RPR005] - stale payload sweep; the next save retries the same glob
+                pass  # pragma: no cover - best-effort cleanup
     return directory
 
 

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import current_registry, metrics_enabled
 from .format import (
     ArrayEntry,
     ArrayWriter,
@@ -35,6 +36,24 @@ from .format import (
     SnapshotFormatError,
     _sha256,
 )
+
+
+def _count_cleanup_failure(count: int = 1) -> None:
+    """Count plane cleanup failures — leaked plane files must be observable.
+
+    Cleanup runs on best-effort paths (``__del__`` included, where the
+    metrics module may already be torn down), so the recording itself is
+    guarded; the counter is the observability, not the recovery.
+    """
+    if not metrics_enabled():
+        return
+    try:
+        current_registry().counter(
+            "repro_plane_cleanup_failures_total",
+            description="plane files/directories that could not be removed",
+        ).inc(count)
+    except Exception:  # repro: ignore[RPR005] - interpreter teardown: the registry itself may be gone
+        pass
 
 
 @dataclass(frozen=True)
@@ -184,20 +203,25 @@ class SharedDataPlane:
 
     def cleanup(self) -> None:
         """Delete the plane files (and the directory, if this plane made it)."""
+        failures = 0
         for handle in self._published:
             try:
                 Path(handle.path).unlink(missing_ok=True)
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
+            except OSError:  # pragma: no cover - counted below
+                failures += 1
         self._published = []
         if self._owns_directory:
             try:
                 self._directory.rmdir()
-            except OSError:  # pragma: no cover - directory not empty / gone
-                pass
+            except OSError:  # repro: ignore[RPR005] - shared/non-empty directory is expected; nothing leaked
+                pass  # pragma: no cover - directory not empty / gone
+        if failures:  # pragma: no cover - OS-dependent unlink failure
+            _count_cleanup_failure(failures)
 
     def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
         try:
             self.cleanup()
         except Exception:
-            pass
+            # A leaked plane file is disk quietly filling up: make the
+            # failure observable instead of swallowing it (RPR005).
+            _count_cleanup_failure()

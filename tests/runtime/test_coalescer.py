@@ -60,6 +60,7 @@ class TestCrossThreadMerging:
                         popped.extend(batch)
 
         threads = [
+            # repro: ignore[RPR001] - stress harness: raw threads hammer the coalescer under test
             threading.Thread(target=hammer, args=(t,), daemon=True)
             for t in range(num_threads)
         ]

@@ -166,6 +166,7 @@ class TestBackpressure:
             submitted.set()
             result_holder["value"] = handle.result(timeout=5)
 
+        # repro: ignore[RPR001] - the backpressure block under test needs a submitter outside any pool
         thread = threading.Thread(target=blocked_submit, daemon=True)
         thread.start()
         time.sleep(0.05)

@@ -157,8 +157,8 @@ class TestDrainShutdownAndOrphans:
         children = pool.child_processes()
         assert children and all(child.is_alive() for child in children)
         pool.shutdown()
-        deadline = time.time() + 10
-        while time.time() < deadline and any(c.is_alive() for c in children):
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and any(c.is_alive() for c in children):
             time.sleep(0.05)
         assert not any(child.is_alive() for child in children)
 
@@ -172,8 +172,8 @@ class TestDrainShutdownAndOrphans:
         assert all(child.is_alive() for child in children)
         del runtime, pool
         gc.collect()
-        deadline = time.time() + 10
-        while time.time() < deadline and any(c.is_alive() for c in children):
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and any(c.is_alive() for c in children):
             time.sleep(0.05)
         assert not any(child.is_alive() for child in children)
 
@@ -183,8 +183,8 @@ class TestDrainShutdownAndOrphans:
         pool.map(_square, range(4))
         children = pool.child_processes()
         runtime.shutdown()
-        deadline = time.time() + 10
-        while time.time() < deadline and any(c.is_alive() for c in children):
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and any(c.is_alive() for c in children):
             time.sleep(0.05)
         assert not any(child.is_alive() for child in children)
 

@@ -129,6 +129,7 @@ class TestStress:
                 errors.append(error)
 
         threads = [
+            # repro: ignore[RPR001] - stress harness: raw threads hammer the service under test
             threading.Thread(target=hammer, args=(t,), daemon=True)
             for t in range(self.NUM_THREADS)
         ]
@@ -182,6 +183,7 @@ class TestStress:
                 handles.extend(mine)
 
         threads = [
+            # repro: ignore[RPR001] - stress harness: raw threads hammer the service under test
             threading.Thread(target=submit_only, args=(t,), daemon=True)
             for t in range(4)
         ]
