@@ -1,0 +1,239 @@
+"""Benchmark trajectory comparison: fresh ``BENCH_*.json`` vs committed baselines.
+
+CI's smoke benchmarks overwrite the workspace's ``BENCH_*.json`` files with
+fresh numbers; the committed copies at the repo root are the baselines the
+trajectory is measured against.  This tool diffs the two sets over every
+*throughput-like* numeric leaf (higher-is-better keys: ``*_qps``,
+``*_per_second``, ``*throughput*``, ``*speedup*``, ``*ops_per*``) and exits
+non-zero when any regresses by more than the threshold (default 30% — smoke
+runs on shared CI runners are noisy; the gate catches collapses, not jitter).
+
+Tolerant by design: baselines that no longer exist, fresh files without a
+baseline, and keys present on only one side are *reported* but never fail the
+run — new benchmarks and schema evolution must not break the gate.  Latency-
+like values (lower is better) are out of scope; the throughput keys are the
+stable cross-benchmark vocabulary.
+
+Usage (CI runs this after the smoke benchmarks)::
+
+    python benchmarks/compare_trajectory.py [--baseline-dir DIR] \
+        [--fresh-dir DIR] [--threshold 0.3] [--output FILE]
+
+Baselines default to ``git show HEAD:BENCH_<name>.json`` (the committed
+copies, readable even after the workspace files were overwritten);
+``--baseline-dir`` reads them from a directory instead.  The comparison
+report is written to ``BENCH_trajectory_comparison.json`` for upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Substrings marking a numeric leaf as throughput-like (higher is better).
+THROUGHPUT_KEY_MARKERS = (
+    "qps",
+    "per_second",
+    "throughput",
+    "speedup",
+    "ops_per",
+)
+
+#: The comparison's own output — never compared against itself.
+REPORT_NAME = "BENCH_trajectory_comparison.json"
+
+DEFAULT_THRESHOLD = 0.3
+
+
+def is_throughput_key(key: str) -> bool:
+    lowered = key.lower()
+    return any(marker in lowered for marker in THROUGHPUT_KEY_MARKERS)
+
+
+def iter_throughput_leaves(
+    payload: Any, prefix: str = ""
+) -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every throughput-like numeric leaf."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                yield from iter_throughput_leaves(value, path)
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                if is_throughput_key(str(key)):
+                    yield path, float(value)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            yield from iter_throughput_leaves(value, f"{prefix}[{index}]")
+
+
+def compare_payloads(
+    baseline: Any, fresh: Any, threshold: float = DEFAULT_THRESHOLD
+) -> Dict[str, Any]:
+    """Compare one benchmark's fresh payload against its baseline.
+
+    Returns ``{"regressions": [...], "improvements": [...], "missing_keys":
+    [...], "new_keys": [...], "compared": N}``.  A regression is a fresh
+    value below ``baseline * (1 - threshold)``; keys on only one side are
+    reported, never failed.
+    """
+    base_leaves = dict(iter_throughput_leaves(baseline))
+    fresh_leaves = dict(iter_throughput_leaves(fresh))
+    regressions: List[Dict[str, Any]] = []
+    improvements: List[Dict[str, Any]] = []
+    compared = 0
+    for path in sorted(set(base_leaves) & set(fresh_leaves)):
+        base_value, fresh_value = base_leaves[path], fresh_leaves[path]
+        if base_value <= 0:
+            continue  # ratio undefined; zero baselines carry no signal
+        compared += 1
+        ratio = fresh_value / base_value
+        entry = {
+            "key": path,
+            "baseline": base_value,
+            "fresh": fresh_value,
+            "ratio": ratio,
+            "change": ratio - 1.0,
+        }
+        if fresh_value < base_value * (1.0 - threshold):
+            regressions.append(entry)
+        elif fresh_value > base_value * (1.0 + threshold):
+            improvements.append(entry)
+    return {
+        "compared": compared,
+        "regressions": regressions,
+        "improvements": improvements,
+        "missing_keys": sorted(set(base_leaves) - set(fresh_leaves)),
+        "new_keys": sorted(set(fresh_leaves) - set(base_leaves)),
+    }
+
+
+def load_baseline(
+    name: str, baseline_dir: Optional[Path], repo_root: Path
+) -> Optional[Any]:
+    """The committed baseline for ``name``, or ``None`` when there is none."""
+    if baseline_dir is not None:
+        path = baseline_dir / name
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+    try:
+        completed = subprocess.run(
+            ["git", "show", f"HEAD:{name}"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return json.loads(completed.stdout)
+    except (subprocess.CalledProcessError, OSError, json.JSONDecodeError):
+        return None  # not committed (a brand-new benchmark), or not a repo
+
+
+def compare_directories(
+    fresh_dir: Path,
+    baseline_dir: Optional[Path] = None,
+    repo_root: Optional[Path] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, Any]:
+    """Compare every fresh ``BENCH_*.json`` under ``fresh_dir``.
+
+    ``repo_root`` anchors the ``git show`` baseline lookup and only matters
+    when ``baseline_dir`` is ``None``; it defaults to ``fresh_dir``.
+    """
+    if repo_root is None:
+        repo_root = fresh_dir
+    report: Dict[str, Any] = {
+        "threshold": threshold,
+        "benchmarks": {},
+        "no_baseline": [],
+        "regressed": [],
+    }
+    for path in sorted(fresh_dir.glob("BENCH_*.json")):
+        if path.name == REPORT_NAME:
+            continue
+        try:
+            fresh = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            report["no_baseline"].append(path.name)
+            continue
+        baseline = load_baseline(path.name, baseline_dir, repo_root)
+        if baseline is None:
+            report["no_baseline"].append(path.name)
+            continue
+        comparison = compare_payloads(baseline, fresh, threshold)
+        report["benchmarks"][path.name] = comparison
+        if comparison["regressions"]:
+            report["regressed"].append(path.name)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=None,
+        help="read baselines from this directory instead of `git show HEAD:`",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative throughput drop that counts as a regression (0.3 = 30%%)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"comparison report path (default: <fresh-dir>/{REPORT_NAME})",
+    )
+    args = parser.parse_args(argv)
+    report = compare_directories(
+        args.fresh_dir, args.baseline_dir, Path.cwd(), args.threshold
+    )
+    output = args.output if args.output is not None else args.fresh_dir / REPORT_NAME
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    compared = sum(c["compared"] for c in report["benchmarks"].values())
+    print(
+        f"trajectory: {len(report['benchmarks'])} benchmark(s), "
+        f"{compared} throughput key(s) compared, "
+        f"{len(report['no_baseline'])} without baselines"
+    )
+    for name in report["no_baseline"]:
+        print(f"  new/unreadable (not gated): {name}")
+    for name, comparison in report["benchmarks"].items():
+        for entry in comparison["improvements"]:
+            print(
+                f"  improved: {name}:{entry['key']} "
+                f"{entry['baseline']:.1f} -> {entry['fresh']:.1f}"
+            )
+        for entry in comparison["regressions"]:
+            print(
+                f"  REGRESSED: {name}:{entry['key']} "
+                f"{entry['baseline']:.1f} -> {entry['fresh']:.1f} "
+                f"({entry['ratio']:.2f}x)"
+            )
+    if report["regressed"]:
+        print(f"FAIL: throughput regressed beyond {args.threshold:.0%} in "
+              f"{', '.join(report['regressed'])}")
+        return 1
+    print("OK: no throughput regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

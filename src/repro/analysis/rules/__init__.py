@@ -1,4 +1,4 @@
-"""Rule registry: one visitor class per rule, RPR001–RPR008.
+"""Rule registry: one visitor class per rule, RPR001–RPR009.
 
 Each rule class carries its ``code``, a one-line ``summary``, and a
 ``rationale`` naming the historical bug or pinned invariant it encodes —
@@ -13,6 +13,7 @@ from .exceptions import SilentExceptionRule
 from .locking import LockDisciplineRule
 from .caching import FrozenCacheArrayRule
 from .determinism import SeededRandomRule
+from .naming import MetricNamingRule
 
 #: Every shipped rule, in code order.
 ALL_RULES = [
@@ -24,6 +25,7 @@ ALL_RULES = [
     LockDisciplineRule,
     FrozenCacheArrayRule,
     SeededRandomRule,
+    MetricNamingRule,
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
@@ -38,5 +40,6 @@ __all__ = [
     "SilentExceptionRule",
     "LockDisciplineRule",
     "FrozenCacheArrayRule",
+    "MetricNamingRule",
     "SeededRandomRule",
 ]

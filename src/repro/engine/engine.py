@@ -33,7 +33,8 @@ from ..core.incremental import (
 from ..core.interface import CardinalityEstimator
 from ..datasets.updates import UpdateOperation, apply_operation
 from ..obs.explain import ExplainAnalyzeReport, PredicateAnalysis, SlowQueryLog
-from ..obs.trace import span, start_trace
+from ..obs.monitor import HealthReport, MonitoringHub, build_health_report
+from ..obs.trace import current_span, span, start_trace
 from ..runtime import Runtime
 from ..selection import PigeonholeHammingSelector, SimilaritySelector, default_selector
 from ..serving import EstimationService
@@ -188,6 +189,8 @@ class SimilarityQueryEngine:
         self.slow_queries = SlowQueryLog(
             threshold_seconds=slow_query_seconds, capacity=slow_query_capacity
         )
+        #: Continuous-monitoring hub; created lazily by :meth:`monitor`.
+        self.monitoring: Optional[MonitoringHub] = None
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -599,8 +602,10 @@ class SimilarityQueryEngine:
             plan.driver.estimated_cardinality,
             result.driver_actual,
         )
+        active = current_span()
         self.slow_queries.record(
             {
+                "trace_id": None if active is None else active.trace_id,
                 "duration_seconds": result.execution_seconds,
                 "driver": plan.driver.attribute,
                 "theta": float(plan.driver.theta),
@@ -688,14 +693,61 @@ class SimilarityQueryEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # Continuous monitoring
+    # ------------------------------------------------------------------ #
+    def monitor(
+        self,
+        interval: float = 1.0,
+        capacity: int = 1024,
+        retention_seconds: Optional[float] = None,
+        start: bool = True,
+        profile_interval: float = 0.005,
+    ) -> MonitoringHub:
+        """The engine's live :class:`~repro.obs.monitor.MonitoringHub`.
+
+        First call builds the hub over the engine's runtime and telemetry
+        registry (and, with ``start``, launches its scraper/profiler loops on
+        the runtime's monitor pool); later calls return the same hub,
+        restarting it if stopped.  ``start=False`` answers an idle hub for
+        deterministic ``tick(now)``-driven use.
+        """
+        if self.monitoring is None:
+            self.monitoring = MonitoringHub(
+                runtime=self.runtime,
+                telemetry=self.service.telemetry,
+                interval=interval,
+                capacity=capacity,
+                retention_seconds=retention_seconds,
+                profile_interval=profile_interval,
+            )
+        elif self.monitoring.runtime is None:
+            # Restored from a snapshot: re-wire the live runtime.
+            self.monitoring.runtime = self.runtime
+        if start and not self.monitoring.running:
+            self.monitoring.start()
+        return self.monitoring
+
+    def health_report(self, now: Optional[float] = None) -> HealthReport:
+        """Engine-wide status — attributes, pools, service, SLO budgets,
+        alerts, slow queries — as one :class:`~repro.obs.monitor.HealthReport`
+        (render with ``describe()`` or ``to_json()``)."""
+        return build_health_report(self, now=now)
+
+    # ------------------------------------------------------------------ #
     # Persistence (repro.store)
     # ------------------------------------------------------------------ #
     def save(self, path) -> "Any":
         """Snapshot the full engine — models, indexes, warm caches, shard
         assignments, feedback state — to directory ``path``.  Returns the
-        :class:`~repro.store.SnapshotInfo`; restore with :meth:`load`."""
+        :class:`~repro.store.SnapshotInfo`; restore with :meth:`load`.
+
+        A running monitoring hub is stopped first (its loops are live pool
+        tasks); the scraped history, SLO definitions, and alert states are
+        captured and resume when ``monitor()`` is called after restore."""
         from ..store import save_engine
 
+        if self.monitoring is not None and self.monitoring.running:
+            self.monitoring.stop()
         return save_engine(self, path)
 
     @classmethod
@@ -719,6 +771,9 @@ class SimilarityQueryEngine:
         self.__dict__.update(state)
         if "slow_queries" not in self.__dict__:
             self.slow_queries = SlowQueryLog()
+        # ... and engines saved before continuous monitoring carry no hub.
+        if "monitoring" not in self.__dict__:
+            self.monitoring = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -729,4 +784,5 @@ class SimilarityQueryEngine:
             "service": self.service.stats(),
             "feedback": self.feedback.snapshot(),
             "runtime": self.runtime.stats(),
+            "monitoring": None if self.monitoring is None else self.monitoring.status(),
         }

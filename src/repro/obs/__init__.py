@@ -1,6 +1,6 @@
-"""repro.obs — tracing, metrics, and EXPLAIN ANALYZE for the whole stack.
+"""repro.obs — tracing, metrics, monitoring, and EXPLAIN ANALYZE.
 
-Three pieces, one substrate:
+Observability substrate for the whole stack:
 
 * :mod:`repro.obs.trace` — per-request span trees that follow a query through
   worker threads and forked process-backend children (child subtrees ride
@@ -10,12 +10,25 @@ Three pieces, one substrate:
   into a registry without changing its own API;
 * :mod:`repro.obs.explain` — ``Engine.explain_analyze`` report structures
   pairing estimated vs actual cardinality per predicate, plus a bounded
-  slow-query ring buffer.
+  slow-query ring buffer;
+* :mod:`repro.obs.timeseries` — ring-buffer series scraped from registries by
+  a background :class:`Scraper`, with windowed rollups (rate, increase,
+  windowed percentiles from histogram-bucket deltas);
+* :mod:`repro.obs.slo` / :mod:`repro.obs.alerts` — declarative objectives
+  evaluated as multi-window burn rates, and a deterministic
+  pending→firing→resolved alert state machine over them;
+* :mod:`repro.obs.profile` — a sampling profiler attributing stacks to pools
+  and endpoints (``REPRO_PROFILE=1``; shared no-op constant when off);
+* :mod:`repro.obs.monitor` — the :class:`MonitoringHub` behind
+  ``engine.monitor()`` and the ``health_report()`` renderer.
 
-Both tracing (``REPRO_TRACE``) and library metrics (``REPRO_METRICS=0``) have
-kill switches; ``benchmarks/bench_obs_overhead.py`` pins the cost envelope.
+Tracing (``REPRO_TRACE``), library metrics (``REPRO_METRICS=0``), and
+profiling (``REPRO_PROFILE``) all have kill switches;
+``benchmarks/bench_obs_overhead.py`` and
+``benchmarks/bench_monitoring_overhead.py`` pin the cost envelopes.
 """
 
+from .alerts import ALERT_KINDS, AlertManager, AlertRule, AlertStatus
 from .explain import ExplainAnalyzeReport, PredicateAnalysis, SlowQueryLog
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -24,13 +37,30 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
     current_registry,
     default_registry,
     disable_metrics,
     enable_metrics,
+    metric_key,
     metrics_enabled,
     use_registry,
 )
+from .monitor import HealthReport, MonitoringHub, build_health_report
+from .profile import (
+    NOOP_PROFILER,
+    SamplingProfiler,
+    active_profiler,
+    create_profiler,
+    disable_profiling,
+    enable_profiling,
+    merge_child_state,
+    profile_scope,
+    profiling_enabled,
+    set_active_profiler,
+)
+from .slo import SLO_KINDS, SLObjective, SLOEvaluator, SLOStatus
+from .timeseries import MONITOR_POOL, Scraper, Series, TimeSeriesStore
 from .trace import (
     NOOP_SPAN,
     Span,
@@ -45,27 +75,54 @@ from .trace import (
 )
 
 __all__ = [
+    "ALERT_KINDS",
+    "AlertManager",
+    "AlertRule",
+    "AlertStatus",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_Q_ERROR_BUCKETS",
     "ExplainAnalyzeReport",
     "Gauge",
+    "HealthReport",
     "Histogram",
+    "MONITOR_POOL",
     "MetricsRegistry",
+    "MonitoringHub",
+    "NOOP_PROFILER",
     "NOOP_SPAN",
     "PredicateAnalysis",
+    "SLO_KINDS",
+    "SLOEvaluator",
+    "SLOStatus",
+    "SLObjective",
+    "SamplingProfiler",
+    "Scraper",
+    "Series",
     "SlowQueryLog",
     "Span",
+    "TimeSeriesStore",
     "activate",
+    "active_profiler",
+    "bucket_quantile",
+    "build_health_report",
     "capture_context",
+    "create_profiler",
     "current_registry",
     "current_span",
     "default_registry",
     "disable_metrics",
+    "disable_profiling",
     "disable_tracing",
     "enable_metrics",
+    "enable_profiling",
     "enable_tracing",
+    "merge_child_state",
+    "metric_key",
     "metrics_enabled",
+    "profile_scope",
+    "profiling_enabled",
+    "set_active_profiler",
     "span",
     "start_trace",
     "tracing_enabled",

@@ -15,6 +15,7 @@ was slow lately?" without tracing ever having been enabled.
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -154,6 +155,18 @@ class SlowQueryLog:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold_seconds": self.threshold_seconds,
+                "capacity": self._entries.maxlen,
+                "entries": [dict(entry) for entry in self._entries],
+            }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The log as JSON (entries are plain dicts by construction)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
 
     # -- snapshot hooks (repro.store): ring persists, lock does not ------- #
     def __snapshot_state__(self) -> Dict[str, Any]:

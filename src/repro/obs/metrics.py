@@ -69,6 +69,44 @@ DEFAULT_LATENCY_BUCKETS = (
 DEFAULT_Q_ERROR_BUCKETS = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 8.0, 16.0, 64.0, 256.0)
 
 
+def bucket_quantile(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+    overflow: Optional[float] = None,
+) -> float:
+    """Bucket-interpolated quantile (the ``histogram_quantile`` scheme).
+
+    ``counts`` are non-cumulative per-bucket observation counts (one extra
+    trailing overflow bucket).  Within the located bucket the distribution is
+    assumed uniform; a rank landing in the overflow bucket answers
+    ``overflow`` (the observed max for a live histogram, the highest finite
+    boundary for windowed deltas where the true max is unknowable).  Zero
+    observations answer ``nan`` — loudly no data, never a fabricated 0.0.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return float("nan")
+    if overflow is None:
+        overflow = float(buckets[-1])
+    rank = q * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        cumulative += bucket_count
+        if cumulative >= rank:
+            if index >= len(buckets):
+                return float(overflow)
+            upper = buckets[index]
+            lower = buckets[index - 1] if index > 0 else 0.0
+            within = (rank - (cumulative - bucket_count)) / bucket_count
+            return lower + (upper - lower) * min(max(within, 0.0), 1.0)
+    return float(overflow)  # pragma: no cover - counts always reach rank
+
+
 def metric_key(name: str, labels: Optional[Mapping[str, Any]] = None) -> str:
     """Canonical identity: ``name`` or ``name{k="v",...}`` with sorted labels."""
     if not labels:
@@ -208,27 +246,11 @@ class Histogram(_Metric):
 
         Within the located bucket the distribution is assumed uniform; the
         overflow bucket answers with the observed max (an upper bound the
-        fixed boundaries cannot interpolate).
+        fixed boundaries cannot interpolate).  An empty histogram answers
+        ``nan`` — loudly no data, never a fabricated 0.0.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
         with self._lock:
-            if self.count == 0:
-                return 0.0
-            rank = q * self.count
-            cumulative = 0
-            for index, bucket_count in enumerate(self.counts):
-                if not bucket_count:
-                    continue
-                cumulative += bucket_count
-                if cumulative >= rank:
-                    if index >= len(self.buckets):
-                        return self.max
-                    upper = self.buckets[index]
-                    lower = self.buckets[index - 1] if index > 0 else 0.0
-                    within = (rank - (cumulative - bucket_count)) / bucket_count
-                    return lower + (upper - lower) * min(max(within, 0.0), 1.0)
-            return self.max  # pragma: no cover - counts always reach rank
+            return bucket_quantile(self.buckets, self.counts, q, overflow=self.max)
 
     def percentiles(self) -> Dict[str, float]:
         return {"p50": self.quantile(0.50), "p95": self.quantile(0.95),

@@ -1,0 +1,447 @@
+"""Wall-clock sampling profiler with pool/endpoint attribution.
+
+A :class:`SamplingProfiler` walks ``sys._current_frames()`` at a fixed
+interval and folds every thread's stack into collapsed-stack counts (the
+flamegraph input format: ``label;frame;frame;... count``).  What makes it a
+*monitoring* profiler rather than a dev tool is attribution: each sampled
+stack is rooted under the pool or endpoint the thread was serving —
+
+1. an explicit :class:`profile_scope` registered by the thread itself
+   (``endpoint:<name>`` — the serving/benchmark path wraps request handling);
+2. the runtime's thread naming convention (``repro-<pool>-<index>`` →
+   ``pool:<pool>``), which covers every WorkerPool worker for free;
+3. the forked-child fallback: a process-backend child derives ``pool:<name>``
+   from its own process name once and roots every sample there;
+4. otherwise ``thread:<name>`` — visible, but counted as unattributed.
+
+Cross-process merge follows the PR 7 metrics discipline: each child runs its
+own sampler (started by :mod:`repro.runtime.process` — thread creation stays
+inside the runtime, RPR001), exports per-task deltas that ride back in the
+task reply's ``extras["profile"]``, and the parent folds them into the
+process-wide active profiler via :func:`merge_child_state`.
+
+**Zero cost when off.**  Profiling is disabled unless ``REPRO_PROFILE`` is
+set (or :func:`enable_profiling` is called): :func:`create_profiler` then
+answers the shared :data:`NOOP_PROFILER` constant, a :class:`profile_scope`
+does one module-global read plus a bool check, and the child side never
+starts a sampler thread.  Enable BEFORE first submitting to a process pool —
+children inherit the switch at fork.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import threading
+from typing import Any, Dict, List, Mapping, Optional
+
+from .timeseries import MONITOR_POOL
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "off")
+
+
+_ENABLED = _env_flag("REPRO_PROFILE")
+
+
+def profiling_enabled() -> bool:
+    return _ENABLED
+
+
+def enable_profiling() -> None:
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable_profiling() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+#: WorkerPool thread names (``repro-<pool>-<index>``) and process-backend
+#: child process names (``repro-<pool>-proc-<index>``).
+_POOL_THREAD_RE = re.compile(r"^repro-(.+)-\d+$")
+_POOL_PROCESS_RE = re.compile(r"^repro-(.+)-proc-\d+$")
+
+#: Attribution prefixes that count as "attributed" (vs ``thread:`` fallback).
+_ATTRIBUTED_PREFIXES = ("pool:", "endpoint:")
+
+
+class SamplingProfiler:
+    """Samples every thread's stack and attributes it to a pool/endpoint.
+
+    Parent-side the loop runs as a long-lived ``monitor``-pool task
+    (:meth:`start`); child-side :mod:`repro.runtime.process` drives
+    :meth:`run` on a daemon thread it owns.  All mutation holds the profiler
+    lock; sample counts are plain dicts so states pickle through pipes and
+    snapshot through ``repro.store``.
+    """
+
+    def __init__(self, interval: float = 0.005, max_depth: int = 48) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = float(interval)
+        self.max_depth = int(max_depth)
+        self.total_samples = 0
+        self.attributed_samples = 0
+        self.errors = 0
+        self._stacks: Dict[str, int] = {}
+        self._scopes: Dict[int, str] = {}
+        self._exclude: set = set()
+        #: Child-process default label (``pool:<name>``), set by
+        #: :meth:`adopt_child_identity` after fork.
+        self.fallback_label: Optional[str] = None
+        self._lock = threading.Lock()
+        self._stop_event: Optional[threading.Event] = None
+        self._handle: Optional[Any] = None
+        self._pool: Optional[Any] = None
+
+    # ------------------------------------------------------------------ #
+    # Attribution plumbing
+    # ------------------------------------------------------------------ #
+    def register_scope(self, ident: int, label: str) -> None:
+        """Attribute thread ``ident``'s samples to ``label`` until removed."""
+        with self._lock:
+            self._scopes[ident] = label
+
+    def unregister_scope(self, ident: int) -> None:
+        with self._lock:
+            self._scopes.pop(ident, None)
+
+    def exclude_thread(self, ident: int) -> None:
+        """Never sample thread ``ident`` (the sampler excludes itself)."""
+        with self._lock:
+            self._exclude.add(ident)
+
+    def adopt_child_identity(self) -> None:
+        """In a forked worker: root every sample under this child's pool."""
+        import multiprocessing
+
+        match = _POOL_PROCESS_RE.match(multiprocessing.current_process().name)
+        if match is not None:
+            self.fallback_label = f"pool:{match.group(1)}"
+
+    def _label_for(
+        self, ident: int, name: str, scopes: Mapping[int, str]
+    ) -> str:
+        label = scopes.get(ident)
+        if label is not None:
+            return label
+        match = _POOL_THREAD_RE.match(name)
+        if match is not None:
+            return f"pool:{match.group(1)}"
+        if self.fallback_label is not None:
+            return self.fallback_label
+        return f"thread:{name or ident}"
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample_once(self, frames: Optional[Mapping[int, Any]] = None) -> int:
+        """Capture one stack per live thread; returns how many were taken.
+
+        One *sample* is one thread's stack at one instant.  Tests hand in a
+        synthetic ``frames`` mapping to pin the collapse/attribution logic
+        without timing.
+        """
+        if frames is None:
+            frames = sys._current_frames()
+        names = {t.ident: t.name for t in threading.enumerate()}
+        with self._lock:
+            exclude = set(self._exclude)
+            scopes = dict(self._scopes)
+        taken: List[tuple] = []
+        for ident, frame in frames.items():
+            if ident in exclude:
+                continue
+            label = self._label_for(ident, names.get(ident, ""), scopes)
+            parts: List[str] = []
+            node = frame
+            while node is not None and len(parts) < self.max_depth:
+                code = node.f_code
+                parts.append(
+                    f"{os.path.basename(code.co_filename)}:{code.co_name}"
+                )
+                node = node.f_back
+            parts.reverse()  # collapsed format reads root → leaf
+            key = ";".join([label] + parts)
+            taken.append((key, label.startswith(_ATTRIBUTED_PREFIXES)))
+        with self._lock:
+            for key, attributed in taken:
+                self._stacks[key] = self._stacks.get(key, 0) + 1
+                self.total_samples += 1
+                if attributed:
+                    self.attributed_samples += 1
+        return len(taken)
+
+    def run(self, stop_event: threading.Event) -> int:
+        """The sampling loop: one :meth:`sample_once` per interval until the
+        event is set.  The loop excludes its own thread from samples and
+        counts (never raises on) sampling errors.  Returns samples taken."""
+        self.exclude_thread(threading.get_ident())
+        taken = 0
+        while not stop_event.wait(self.interval):
+            try:
+                taken += self.sample_once()
+            except Exception:
+                with self._lock:
+                    self.errors += 1
+        return taken
+
+    # ------------------------------------------------------------------ #
+    # Parent-side lifecycle (monitor pool — RPR001)
+    # ------------------------------------------------------------------ #
+    def start(self, runtime: Any, pool_name: str = MONITOR_POOL) -> None:
+        """Run the sampling loop on ``runtime``'s monitor pool and become the
+        process-wide active profiler.  Idempotent while running."""
+        if self._handle is not None:
+            return
+        pool = runtime.pool(pool_name, num_workers=1)
+        stats = pool.stats()
+        pool.ensure_workers(stats["active"] + stats["queue_depth"] + 1)
+        self._stop_event = threading.Event()
+        # Pool shutdown sets the event too (see WorkerPool.register_stop_event).
+        register = getattr(pool, "register_stop_event", None)
+        if register is not None:
+            register(self._stop_event)
+        self._pool = pool
+        set_active_profiler(self)
+        self._handle = pool.submit(self.run, self._stop_event)
+
+    def stop(self, timeout: Optional[float] = 5.0) -> Optional[int]:
+        """Stop the loop; returns the samples it took (``None`` if idle)."""
+        handle, event, pool = self._handle, self._stop_event, self._pool
+        if handle is None:
+            return None
+        self._handle = None
+        self._stop_event = None
+        self._pool = None
+        if event is not None:
+            event.set()
+            unregister = getattr(pool, "unregister_stop_event", None)
+            if unregister is not None:
+                unregister(event)
+        if active_profiler() is self:
+            set_active_profiler(None)
+        return handle.result(timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None
+
+    # ------------------------------------------------------------------ #
+    # Cross-process merge (the PR 7 metrics discipline)
+    # ------------------------------------------------------------------ #
+    def export_state(self, reset: bool = False) -> Dict[str, Any]:
+        """Plain-dict dump; ``reset=True`` zeroes the counts atomically —
+        the per-task delta a child ships back with each result."""
+        with self._lock:
+            state = {
+                "stacks": dict(self._stacks),
+                "total_samples": self.total_samples,
+                "attributed_samples": self.attributed_samples,
+                "errors": self.errors,
+            }
+            if reset:
+                self._stacks = {}
+                self.total_samples = 0
+                self.attributed_samples = 0
+                self.errors = 0
+        return state
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        with self._lock:
+            for key, count in state.get("stacks", {}).items():
+                self._stacks[key] = self._stacks.get(key, 0) + int(count)
+            self.total_samples += int(state.get("total_samples", 0))
+            self.attributed_samples += int(state.get("attributed_samples", 0))
+            self.errors += int(state.get("errors", 0))
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+    def stacks(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._stacks)
+
+    def collapsed(self) -> str:
+        """Flamegraph-compatible collapsed stacks: ``label;f1;f2 count``."""
+        with self._lock:
+            lines = [f"{key} {count}" for key, count in sorted(self._stacks.items())]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def attribution_fraction(self) -> Optional[float]:
+        """Fraction of samples rooted under a pool/endpoint; ``None`` (loudly
+        no data) before any sample lands."""
+        with self._lock:
+            if self.total_samples == 0:
+                return None
+            return self.attributed_samples / self.total_samples
+
+    def label_totals(self) -> Dict[str, int]:
+        """Sample counts per attribution root (the flamegraph's first row)."""
+        totals: Dict[str, int] = {}
+        with self._lock:
+            for key, count in self._stacks.items():
+                label = key.split(";", 1)[0]
+                totals[label] = totals.get(label, 0) + count
+        return totals
+
+    def to_dict(self) -> Dict[str, Any]:
+        state = self.export_state()
+        state["attribution_fraction"] = self.attribution_fraction()
+        state["interval"] = self.interval
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Snapshot hooks (repro.store): counts persist; the live loop, scope
+    # table, and exclusions are thread-identity-bound and do not.
+    # ------------------------------------------------------------------ #
+    def __snapshot_state__(self) -> Dict[str, Any]:
+        if self._handle is not None:
+            raise RuntimeError(
+                "cannot snapshot a running SamplingProfiler; stop() it first"
+            )
+        state = dict(self.__dict__)
+        for transient in ("_lock", "_stop_event", "_handle", "_pool", "_scopes", "_exclude"):
+            state.pop(transient, None)
+        return state
+
+    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._scopes = {}
+        self._exclude = set()
+        self._lock = threading.Lock()
+        self._stop_event = None
+        self._handle = None
+
+
+class _NoopProfiler:
+    """Shared constant standing in for a profiler when profiling is off.
+
+    Every method is a cheap no-op with the live API's shape, so call sites
+    never branch on the switch themselves.
+    """
+
+    __slots__ = ()
+
+    interval = 0.0
+    fallback_label = None
+    total_samples = 0
+    attributed_samples = 0
+    errors = 0
+    running = False
+
+    def register_scope(self, ident: int, label: str) -> None:
+        return None
+
+    def unregister_scope(self, ident: int) -> None:
+        return None
+
+    def exclude_thread(self, ident: int) -> None:
+        return None
+
+    def adopt_child_identity(self) -> None:
+        return None
+
+    def sample_once(self, frames: Optional[Mapping[int, Any]] = None) -> int:
+        return 0
+
+    def run(self, stop_event: threading.Event) -> int:
+        return 0
+
+    def start(self, runtime: Any, pool_name: str = MONITOR_POOL) -> None:
+        return None
+
+    def stop(self, timeout: Optional[float] = 5.0) -> Optional[int]:
+        return None
+
+    def export_state(self, reset: bool = False) -> Dict[str, Any]:
+        return {}
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        return None
+
+    def stacks(self) -> Dict[str, int]:
+        return {}
+
+    def collapsed(self) -> str:
+        return ""
+
+    def attribution_fraction(self) -> Optional[float]:
+        return None
+
+    def label_totals(self) -> Dict[str, int]:
+        return {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"enabled": False}
+
+
+NOOP_PROFILER = _NoopProfiler()
+
+
+def create_profiler(interval: float = 0.005, max_depth: int = 48) -> Any:
+    """A live :class:`SamplingProfiler` when profiling is enabled, else the
+    shared :data:`NOOP_PROFILER` constant — allocation-free when off."""
+    if not _ENABLED:
+        return NOOP_PROFILER
+    return SamplingProfiler(interval=interval, max_depth=max_depth)
+
+
+# ---------------------------------------------------------------------- #
+# The process-wide active profiler: where scopes register and child states
+# merge.  Plain module global — set at start/stop (single-threaded setup);
+# readers only ever see None or a live profiler.
+# ---------------------------------------------------------------------- #
+_ACTIVE: Optional[SamplingProfiler] = None
+
+
+def active_profiler() -> Optional[SamplingProfiler]:
+    return _ACTIVE
+
+
+def set_active_profiler(profiler: Optional[SamplingProfiler]) -> None:
+    global _ACTIVE
+    _ACTIVE = profiler
+
+
+def merge_child_state(state: Mapping[str, Any]) -> bool:
+    """Fold a child's exported profile into the active profiler (the parent
+    pool's ``extras["profile"]`` absorb path).  False when none is active —
+    the child sampled but the parent stopped profiling; dropping is correct,
+    not an error."""
+    profiler = _ACTIVE
+    if profiler is None:
+        return False
+    profiler.merge_state(state)
+    return True
+
+
+class profile_scope:
+    """Attribute the current thread's samples to ``endpoint:<label>`` for the
+    block.  Disabled-path cost: one module-global read + one bool check."""
+
+    __slots__ = ("_label", "_profiler", "_ident")
+
+    def __init__(self, label: str) -> None:
+        self._label = label if ":" in label else f"endpoint:{label}"
+        self._profiler: Optional[SamplingProfiler] = None
+
+    def __enter__(self) -> "profile_scope":
+        profiler = _ACTIVE
+        if profiler is None or not _ENABLED:
+            return self
+        self._ident = threading.get_ident()
+        self._profiler = profiler
+        profiler.register_scope(self._ident, self._label)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.unregister_scope(self._ident)
+            self._profiler = None
+        return False

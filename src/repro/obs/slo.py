@@ -1,0 +1,272 @@
+"""SLOs: declarative objectives evaluated as multi-window burn rates.
+
+An :class:`SLObjective` states what "good" means for one endpoint — latency
+under a target at a given quantile mass, q-error inside a budget, or a plain
+error ratio — and the :class:`SLOEvaluator` turns scraped
+:mod:`~repro.obs.timeseries` history into the two numbers SRE practice runs
+on:
+
+* **burn rate** — the fraction of events that were bad over a window, divided
+  by the *allowed* bad fraction (``1 - objective``).  Burn 1.0 consumes the
+  error budget exactly at the rate it refills; burn 14 blows a 30-day budget
+  in ~2 days.
+* **multi-window confirmation** — an objective is *breaching* only when BOTH
+  its fast window (is it happening now?) and its slow window (is it
+  sustained?) burn faster than ``burn_threshold``, the standard guard against
+  paging on a single straggler.
+
+Error-budget-remaining accounting falls out of the slow window: ``1 - burn``
+(negative when overspent).  Windows with no observations evaluate to ``None``
+and ``no_data`` — never a fabricated healthy 0.0.
+
+Latency and q-error objectives read the histogram series ``ServingTelemetry``
+already emits per endpoint; the good/bad split comes from bucket deltas, so
+``threshold`` should sit on a bucket boundary for exactness (a straddled
+bucket counts as bad — conservative).  All evaluation takes an explicit
+``now`` in the scraper's clock domain, so tests drive it deterministically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, metric_key
+from .timeseries import TimeSeriesStore
+
+#: Objective kinds: what "bad event" means.
+SLO_KINDS = ("latency", "q_error", "error_ratio")
+
+
+@dataclass
+class SLObjective:
+    """One endpoint's service-level objective.
+
+    ``objective`` is the required good fraction (0.99 → 1% error budget);
+    ``threshold`` is the per-event bad boundary (seconds for ``latency``,
+    ratio for ``q_error``; unused for ``error_ratio``, which divides the
+    ``bad_series`` counter by ``total_series`` instead).
+    """
+
+    name: str
+    kind: str = "latency"
+    endpoint: str = ""
+    objective: float = 0.99
+    threshold: float = 0.1
+    fast_window: float = 300.0
+    slow_window: float = 3600.0
+    burn_threshold: float = 2.0
+    #: Explicit series key override; defaults to the telemetry histogram for
+    #: the endpoint (``repro_request_latency_seconds`` / ``repro_q_error``).
+    series: Optional[str] = None
+    #: ``error_ratio`` inputs: counter series keys.
+    total_series: Optional[str] = None
+    bad_series: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; choose from {SLO_KINDS}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be a fraction strictly inside (0, 1)")
+        if self.fast_window <= 0 or self.slow_window < self.fast_window:
+            raise ValueError("windows must satisfy 0 < fast_window <= slow_window")
+        if self.kind == "error_ratio" and not (self.total_series and self.bad_series):
+            raise ValueError("error_ratio objectives need total_series and bad_series")
+
+    # -- declarative sugar ------------------------------------------------ #
+    @classmethod
+    def latency(cls, endpoint: str, threshold: float = 0.1, **kwargs: Any) -> "SLObjective":
+        """p-mass latency objective: ``objective`` of requests under
+        ``threshold`` seconds (objective=0.99 ⇒ "p99 ≤ threshold")."""
+        kwargs.setdefault("name", f"latency-{endpoint}")
+        return cls(kind="latency", endpoint=endpoint, threshold=threshold, **kwargs)
+
+    @classmethod
+    def q_error(cls, endpoint: str, threshold: float = 4.0, **kwargs: Any) -> "SLObjective":
+        kwargs.setdefault("name", f"q-error-{endpoint}")
+        return cls(kind="q_error", endpoint=endpoint, threshold=threshold, **kwargs)
+
+    @classmethod
+    def error_ratio(
+        cls, name: str, total_series: str, bad_series: str, **kwargs: Any
+    ) -> "SLObjective":
+        return cls(
+            name=name,
+            kind="error_ratio",
+            total_series=total_series,
+            bad_series=bad_series,
+            **kwargs,
+        )
+
+    def series_key(self) -> Optional[str]:
+        """The histogram series this objective reads (``None`` for ratios)."""
+        if self.kind == "error_ratio":
+            return None
+        if self.series is not None:
+            return self.series
+        metric = (
+            "repro_request_latency_seconds"
+            if self.kind == "latency"
+            else "repro_q_error"
+        )
+        return metric_key(metric, {"endpoint": self.endpoint})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "endpoint": self.endpoint,
+            "objective": self.objective,
+            "threshold": self.threshold,
+            "fast_window": self.fast_window,
+            "slow_window": self.slow_window,
+            "burn_threshold": self.burn_threshold,
+            "description": self.description,
+        }
+
+
+@dataclass
+class SLOStatus:
+    """One objective's evaluation at one instant."""
+
+    name: str
+    kind: str
+    now: float
+    objective: float
+    burn_threshold: float
+    fast_window: float
+    slow_window: float
+    fast_burn: Optional[float] = None
+    slow_burn: Optional[float] = None
+    fast_bad: Optional[float] = None
+    fast_total: Optional[float] = None
+    slow_bad: Optional[float] = None
+    slow_total: Optional[float] = None
+    budget_remaining: Optional[float] = None
+    breaching: bool = False
+    no_data: bool = field(default=True)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+
+class SLOEvaluator:
+    """Evaluates registered objectives against a :class:`TimeSeriesStore`.
+
+    With a ``registry``, every evaluation also records
+    ``repro_slo_burn_rate{slo,window}`` and
+    ``repro_slo_budget_remaining{slo}`` gauges — the burn signals are
+    themselves scrapable series the alert engine (or a future SLO-aware
+    gateway) can watch.
+    """
+
+    def __init__(
+        self, store: TimeSeriesStore, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.store = store
+        self.registry = registry
+        self._objectives: Dict[str, SLObjective] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def add(self, objective: SLObjective) -> SLObjective:
+        """Register (or declaratively replace) one objective by name."""
+        self._objectives[objective.name] = objective
+        return objective
+
+    def remove(self, name: str) -> None:
+        self._objectives.pop(name, None)
+
+    def objectives(self) -> List[SLObjective]:
+        return [self._objectives[name] for name in sorted(self._objectives)]
+
+    def __len__(self) -> int:
+        return len(self._objectives)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def _window_bad_total(
+        self, objective: SLObjective, window: float, now: float
+    ) -> Optional[Tuple[float, float]]:
+        """(bad, total) event counts over the window, ``None`` when empty."""
+        if objective.kind == "error_ratio":
+            total = self.store.increase(objective.total_series, window, now)
+            bad = self.store.increase(objective.bad_series, window, now)
+            if total is None or total <= 0:
+                return None
+            return (0.0 if bad is None else float(bad)), float(total)
+        series = self.store.get(objective.series_key())
+        if series is None:
+            return None
+        delta = series.delta(window, now)
+        if delta is None or delta["count"] <= 0:
+            return None
+        good_buckets = bisect_right(series.buckets, objective.threshold)
+        good = sum(delta["counts"][:good_buckets])
+        total = float(delta["count"])
+        return float(total - good), total
+
+    def evaluate_objective(self, objective: SLObjective, now: float) -> SLOStatus:
+        status = SLOStatus(
+            name=objective.name,
+            kind=objective.kind,
+            now=now,
+            objective=objective.objective,
+            burn_threshold=objective.burn_threshold,
+            fast_window=objective.fast_window,
+            slow_window=objective.slow_window,
+        )
+        allowed = 1.0 - objective.objective
+        fast = self._window_bad_total(objective, objective.fast_window, now)
+        slow = self._window_bad_total(objective, objective.slow_window, now)
+        if fast is not None:
+            status.fast_bad, status.fast_total = fast
+            status.fast_burn = (status.fast_bad / status.fast_total) / allowed
+        if slow is not None:
+            status.slow_bad, status.slow_total = slow
+            status.slow_burn = (status.slow_bad / status.slow_total) / allowed
+            status.budget_remaining = 1.0 - status.slow_burn
+        status.no_data = fast is None and slow is None
+        status.breaching = (
+            status.fast_burn is not None
+            and status.slow_burn is not None
+            and status.fast_burn >= objective.burn_threshold
+            and status.slow_burn >= objective.burn_threshold
+        )
+        return status
+
+    def evaluate(self, now: float, record: bool = True) -> List[SLOStatus]:
+        """Evaluate every objective at ``now`` (name order — deterministic).
+
+        ``record=False`` skips the gauge writes, for read-only consumers
+        (``health_report``) that must not perturb the scraped registry.
+        """
+        statuses = [
+            self.evaluate_objective(objective, now) for objective in self.objectives()
+        ]
+        if record and self.registry is not None:
+            for status in statuses:
+                for window, burn in (
+                    ("fast", status.fast_burn),
+                    ("slow", status.slow_burn),
+                ):
+                    if burn is not None:
+                        self.registry.gauge(
+                            "repro_slo_burn_rate",
+                            {"slo": status.name, "window": window},
+                            description="error-budget burn rate (1.0 = budget pace)",
+                        ).set(burn)
+                if status.budget_remaining is not None:
+                    self.registry.gauge(
+                        "repro_slo_budget_remaining",
+                        {"slo": status.name},
+                        description="slow-window error budget left (1.0 = untouched)",
+                    ).set(status.budget_remaining)
+        return statuses
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"objectives": [objective.to_dict() for objective in self.objectives()]}

@@ -54,6 +54,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..obs.metrics import default_registry, use_registry
+from ..obs.profile import merge_child_state
 from ..obs.trace import Span, activate, capture_context, span
 from .process import ERROR, OK, SHUTDOWN_SENTINEL, run_child_loop
 
@@ -216,6 +217,9 @@ class WorkerPool:
         self._children: List[Optional[_ChildWorker]] = []
         self._active = 0
         self._shutdown = False
+        #: Stop events of long-lived loop tasks parked on this pool; set at
+        #: shutdown so those workers become joinable (see register_stop_event).
+        self._stop_events: List[threading.Event] = []
         # Lifetime counters (reported via stats(); O(1) memory).
         self.submitted = 0
         self.completed = 0
@@ -370,6 +374,18 @@ class WorkerPool:
                     )
                 self._idle.wait(remaining)
 
+    def register_stop_event(self, event: threading.Event) -> None:
+        """Long-lived loop tasks (scraper/profiler) pin a worker until their
+        stop event is set; registering the event lets :meth:`shutdown`
+        release them instead of joining forever."""
+        with self._lock:
+            self._stop_events.append(event)
+
+    def unregister_stop_event(self, event: threading.Event) -> None:
+        with self._lock:
+            if event in self._stop_events:
+                self._stop_events.remove(event)
+
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work; workers finish the queued tasks, then exit."""
         with self._lock:
@@ -377,6 +393,9 @@ class WorkerPool:
             self._not_empty.notify_all()
             self._not_full.notify_all()
             threads = list(self._threads)
+            stop_events = list(self._stop_events)
+        for event in stop_events:
+            event.set()
         if wait:
             for thread in threads:
                 thread.join()
@@ -490,6 +509,10 @@ class WorkerPool:
         child_span = extras.get("span")
         if child_span is not None and task_span is not None:
             task_span.adopt(child_span)
+        profile_state = extras.get("profile")
+        if profile_state:
+            # Dropped (by design) when no profiler is active parent-side.
+            merge_child_state(profile_state)
 
     def _worker_loop_inner(self, index: int) -> None:
         while True:
@@ -565,6 +588,33 @@ class WorkerPool:
                 for child in self._children
                 if child is not None and child.alive
             ]
+
+    def record_gauges(self, registry: Any) -> None:
+        """Export this pool's instantaneous load as gauges into ``registry``.
+
+        Called by the monitoring scraper each tick (via
+        :meth:`repro.runtime.Runtime.record_gauges`), so queue depth and
+        utilization become time series rather than point-in-time stats.
+        """
+        with self._lock:
+            depth = len(self._tasks)
+            active = self._active
+            workers = self.num_workers
+        labels = {"pool": self.name}
+        registry.gauge(
+            "repro_pool_queue_depth", labels, description="tasks waiting in the pool queue"
+        ).set(depth)
+        registry.gauge(
+            "repro_pool_active_tasks", labels, description="tasks executing right now"
+        ).set(active)
+        registry.gauge(
+            "repro_pool_workers", labels, description="configured pool width"
+        ).set(workers)
+        registry.gauge(
+            "repro_pool_utilization",
+            labels,
+            description="active tasks over pool width (1.0 = saturated)",
+        ).set(active / workers if workers else 0.0)
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.profile import profile_scope
 from ..obs.trace import span
 from ..runtime.coalescer import BatchCoalescer
 from .cache import CurveCache
@@ -144,7 +145,7 @@ class EstimationService:
         silently succeeding on empty input.
         """
         start = time.perf_counter()
-        with span("service.estimate", endpoint=name) as estimate_span:
+        with profile_scope(name), span("service.estimate", endpoint=name) as estimate_span:
             with self._lock:
                 entry = self.registry.get(name)
                 records = list(records)

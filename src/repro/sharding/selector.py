@@ -216,6 +216,16 @@ class ShardedSelector(SimilaritySelector):
     def shard_sizes(self) -> List[int]:
         return self._assignment.shard_sizes()
 
+    def stats(self) -> Dict[str, Any]:
+        """Shard-topology summary (the health report's per-attribute view)."""
+        return {
+            "num_shards": self.num_shards,
+            "shard_sizes": self.shard_sizes(),
+            "parallel": self.parallel,
+            "backend": self.backend,
+            "records": len(self.dataset),
+        }
+
     # ------------------------------------------------------------------ #
     # Parallel fan-out
     # ------------------------------------------------------------------ #

@@ -363,6 +363,57 @@ class TestSeededRandom:
 
 
 # --------------------------------------------------------------------- #
+# RPR009 — metric naming conventions
+# --------------------------------------------------------------------- #
+class TestMetricNaming:
+    def test_fires_on_counter_without_total_suffix(self):
+        source = """
+            def record(registry):
+                registry.counter("repro_requests").inc()
+        """
+        assert codes(source) == ["RPR009"]
+
+    def test_fires_on_invalid_identifier(self):
+        source = """
+            def record(registry):
+                registry.gauge("queueDepth").set(3)
+                registry.histogram("repro-latency").observe(0.1)
+        """
+        assert codes(source) == ["RPR009", "RPR009"]
+
+    def test_fires_on_direct_construction(self):
+        source = """
+            from repro.obs.metrics import Counter
+
+            def build():
+                return Counter("repro_requests", {})
+        """
+        assert codes(source) == ["RPR009"]
+
+    def test_passes_on_conventional_names(self):
+        source = """
+            def record(registry):
+                registry.counter("repro_requests_total", {"endpoint": "e"}).inc()
+                registry.gauge("repro_pool_queue_depth").set(0)
+                registry.histogram("repro_request_latency_seconds").observe(0.1)
+        """
+        assert codes(source) == []
+
+    def test_ignores_lookalikes_and_dynamic_names(self):
+        source = """
+            import numpy as np
+            from collections import Counter
+
+            def unrelated(values, name, registry):
+                counts, edges = np.histogram(values, bins=4)
+                tally = Counter(values)
+                registry.counter(name).inc()  # dynamic: not checkable
+                return counts, edges, tally
+        """
+        assert codes(source) == []
+
+
+# --------------------------------------------------------------------- #
 # RPR900 — unused suppressions are themselves findings
 # --------------------------------------------------------------------- #
 class TestSuppressions:

@@ -1,0 +1,149 @@
+"""The benchmark trajectory gate: fresh BENCH_*.json vs committed baselines.
+
+Loads :mod:`benchmarks.compare_trajectory` by path (the benchmarks directory
+is not a package on the test path) and exercises the comparison math, the
+directory walk, and the CLI exit codes against tmp-dir fixtures.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "compare_trajectory", REPO_ROOT / "benchmarks" / "compare_trajectory.py"
+)
+ct = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(ct)
+
+
+class TestThroughputKeySelection:
+    def test_markers(self):
+        for key in ("qps", "warm_qps", "queries_per_second", "speedup",
+                    "throughput", "ops_per_sec"):
+            assert ct.is_throughput_key(key), key
+        for key in ("latency_p99", "overhead_fraction", "num_records"):
+            assert not ct.is_throughput_key(key), key
+
+    def test_leaves_recurse_dicts_and_lists(self):
+        payload = {
+            "modes": {"cold": {"qps": 10.0}, "warm": {"qps": 40.0}},
+            "runs": [{"throughput": 5}, {"throughput": 7}],
+            "qps_enabled": True,  # bool is not a measurement
+            "note_qps": "fast",  # nor is a string
+        }
+        leaves = dict(ct.iter_throughput_leaves(payload))
+        assert leaves == {
+            "modes.cold.qps": 10.0,
+            "modes.warm.qps": 40.0,
+            "runs[0].throughput": 5.0,
+            "runs[1].throughput": 7.0,
+        }
+
+
+class TestComparePayloads:
+    def test_regression_beyond_threshold(self):
+        result = ct.compare_payloads({"qps": 100.0}, {"qps": 60.0}, threshold=0.3)
+        assert len(result["regressions"]) == 1
+        regression = result["regressions"][0]
+        assert regression["key"] == "qps"
+        assert regression["ratio"] == pytest.approx(0.6)
+        assert regression["change"] == pytest.approx(-0.4)
+
+    def test_within_threshold_is_not_a_regression(self):
+        result = ct.compare_payloads({"qps": 100.0}, {"qps": 75.0}, threshold=0.3)
+        assert result["regressions"] == []
+        assert result["compared"] == 1
+
+    def test_improvements_are_reported_not_gated(self):
+        result = ct.compare_payloads({"qps": 100.0}, {"qps": 150.0}, threshold=0.3)
+        assert result["regressions"] == []
+        assert len(result["improvements"]) == 1
+
+    def test_missing_and_new_keys_are_tolerated(self):
+        result = ct.compare_payloads(
+            {"qps": 100.0, "old_qps": 5.0}, {"qps": 100.0, "new_qps": 9.0}, 0.3
+        )
+        assert result["regressions"] == []
+        assert result["missing_keys"] == ["old_qps"]
+        assert result["new_keys"] == ["new_qps"]
+
+    def test_zero_baseline_is_skipped(self):
+        result = ct.compare_payloads({"qps": 0.0}, {"qps": 0.0}, threshold=0.3)
+        assert result["compared"] == 0
+        assert result["regressions"] == []
+
+
+class TestDirectoryComparison:
+    def write(self, directory, name, payload):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(payload))
+
+    def test_healthy_run_passes(self, tmp_path):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        self.write(fresh, "BENCH_a.json", {"qps": 98.0})
+        self.write(base, "BENCH_a.json", {"qps": 100.0})
+        report = ct.compare_directories(fresh, baseline_dir=base, threshold=0.3)
+        assert not report["regressed"]
+        assert report["benchmarks"]["BENCH_a.json"]["regressions"] == []
+
+    def test_regression_flags_the_report(self, tmp_path):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        self.write(fresh, "BENCH_a.json", {"qps": 50.0})
+        self.write(base, "BENCH_a.json", {"qps": 100.0})
+        report = ct.compare_directories(fresh, baseline_dir=base, threshold=0.3)
+        assert report["regressed"]
+
+    def test_new_benchmark_without_baseline_is_not_gated(self, tmp_path):
+        fresh = tmp_path / "fresh"
+        base = tmp_path / "base"
+        base.mkdir()
+        self.write(fresh, "BENCH_new.json", {"qps": 10.0})
+        report = ct.compare_directories(fresh, baseline_dir=base, threshold=0.3)
+        assert not report["regressed"]
+        assert report["no_baseline"] == ["BENCH_new.json"]
+
+    def test_report_file_itself_is_excluded(self, tmp_path):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        self.write(fresh, ct.REPORT_NAME, {"qps": 1.0})
+        self.write(fresh, "BENCH_a.json", {"qps": 100.0})
+        self.write(base, "BENCH_a.json", {"qps": 100.0})
+        report = ct.compare_directories(fresh, baseline_dir=base, threshold=0.3)
+        assert list(report["benchmarks"]) == ["BENCH_a.json"]
+
+
+class TestMain:
+    def test_exit_codes_and_report_file(self, tmp_path, capsys):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), base.mkdir()
+        (fresh / "BENCH_a.json").write_text(json.dumps({"qps": 100.0}))
+        (base / "BENCH_a.json").write_text(json.dumps({"qps": 100.0}))
+        output = tmp_path / "report.json"
+        argv = [
+            "--fresh-dir", str(fresh), "--baseline-dir", str(base),
+            "--output", str(output),
+        ]
+        assert ct.main(argv) == 0
+        report = json.loads(output.read_text())
+        assert not report["regressed"]
+
+        (fresh / "BENCH_a.json").write_text(json.dumps({"qps": 10.0}))
+        assert ct.main(argv) == 1
+        assert json.loads(output.read_text())["regressed"]
+        assert "regress" in capsys.readouterr().out.lower()
+
+    def test_threshold_flag_widens_the_gate(self, tmp_path):
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), base.mkdir()
+        (fresh / "BENCH_a.json").write_text(json.dumps({"qps": 55.0}))
+        (base / "BENCH_a.json").write_text(json.dumps({"qps": 100.0}))
+        argv = ["--fresh-dir", str(fresh), "--baseline-dir", str(base)]
+        assert ct.main(argv + ["--threshold", "0.5", "--output",
+                               str(tmp_path / "r1.json")]) == 0
+        assert ct.main(argv + ["--threshold", "0.3", "--output",
+                               str(tmp_path / "r2.json")]) == 1

@@ -1,0 +1,284 @@
+"""Alert rule engine: a deterministic state machine under an injected clock.
+
+Each test steps ``evaluate(now)`` with explicit instants and pins the full
+``inactive → pending → firing → resolved → pending`` walk, the ``for_seconds``
+dwell, and the transition/firing metrics.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    AlertManager,
+    AlertRule,
+    MetricsRegistry,
+    SLObjective,
+    SLOEvaluator,
+    TimeSeriesStore,
+)
+
+
+def manager_with_gauge(registry=None):
+    store = TimeSeriesStore()
+    series = store.series("repro_depth", "gauge")
+    manager = AlertManager(store, registry=registry)
+    return manager, series
+
+
+class TestRuleValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            AlertRule(name="x", kind="pager")
+
+    def test_threshold_needs_series_and_value(self):
+        with pytest.raises(ValueError, match="series"):
+            AlertRule(name="x", kind="threshold", value=1.0)
+        with pytest.raises(ValueError, match="value"):
+            AlertRule(name="x", kind="threshold", series="s")
+        with pytest.raises(ValueError, match="comparator"):
+            AlertRule(name="x", kind="threshold", series="s", value=1.0, comparator="!")
+
+    def test_burn_rate_needs_slo(self):
+        with pytest.raises(ValueError, match="SLO"):
+            AlertRule(name="x", kind="burn_rate")
+
+    def test_negative_dwell(self):
+        with pytest.raises(ValueError, match="for_seconds"):
+            AlertRule(name="x", kind="threshold", series="s", value=1.0, for_seconds=-1)
+
+
+class TestThresholdStateMachine:
+    def test_full_walk_with_dwell(self):
+        manager, series = manager_with_gauge()
+        manager.add_rule(
+            AlertRule(
+                name="deep", kind="threshold", series="repro_depth",
+                value=10.0, comparator=">", for_seconds=30.0,
+            )
+        )
+        series.append(0.0, 5.0)
+        assert manager.evaluate(now=0.0)[0].state == "inactive"
+
+        series.append(10.0, 50.0)  # condition turns on
+        status = manager.evaluate(now=10.0)[0]
+        assert status.state == "pending"
+        assert status.pending_since == 10.0
+
+        assert manager.evaluate(now=30.0)[0].state == "pending"  # dwell not met
+        status = manager.evaluate(now=40.0)[0]  # 30 s in pending
+        assert status.state == "firing"
+        assert manager.firing() == ["deep"]
+
+        series.append(50.0, 2.0)  # condition clears
+        status = manager.evaluate(now=50.0)[0]
+        assert status.state == "resolved"
+        assert manager.firing() == []
+
+        series.append(60.0, 50.0)  # re-arms from resolved
+        assert manager.evaluate(now=60.0)[0].state == "pending"
+
+    def test_zero_dwell_fires_immediately(self):
+        manager, series = manager_with_gauge()
+        manager.add_rule(
+            AlertRule(name="deep", kind="threshold", series="repro_depth", value=10.0)
+        )
+        series.append(0.0, 11.0)
+        status = manager.evaluate(now=0.0)[0]
+        assert status.state == "firing"
+        assert status.transitions == 2  # inactive→pending→firing, one tick
+
+    def test_pending_flap_returns_to_inactive(self):
+        manager, series = manager_with_gauge()
+        manager.add_rule(
+            AlertRule(
+                name="deep", kind="threshold", series="repro_depth",
+                value=10.0, for_seconds=60.0,
+            )
+        )
+        series.append(0.0, 50.0)
+        assert manager.evaluate(now=0.0)[0].state == "pending"
+        series.append(10.0, 1.0)  # cleared before the dwell elapsed
+        status = manager.evaluate(now=10.0)[0]
+        assert status.state == "inactive"
+        assert status.pending_since is None
+
+    def test_missing_series_is_not_a_threshold_breach(self):
+        store = TimeSeriesStore()
+        manager = AlertManager(store)
+        manager.add_rule(
+            AlertRule(name="deep", kind="threshold", series="absent", value=1.0)
+        )
+        assert manager.evaluate(now=0.0)[0].state == "inactive"
+
+    def test_replay_is_deterministic(self):
+        """The same (samples, instants) walk produces the same transitions."""
+        walks = []
+        for _ in range(2):
+            manager, series = manager_with_gauge()
+            manager.add_rule(
+                AlertRule(
+                    name="deep", kind="threshold", series="repro_depth",
+                    value=10.0, for_seconds=20.0,
+                )
+            )
+            states = []
+            for now, value in [(0, 5), (10, 60), (20, 60), (30, 60), (40, 2), (50, 60)]:
+                series.append(float(now), float(value))
+                states.append(manager.evaluate(now=float(now))[0].state)
+            walks.append(states)
+        assert walks[0] == walks[1]
+        assert walks[0] == [
+            "inactive", "pending", "pending", "firing", "resolved", "pending",
+        ]
+
+
+class TestAbsenceRules:
+    def test_fires_when_series_goes_stale(self):
+        manager, series = manager_with_gauge()
+        manager.add_rule(
+            AlertRule(name="stale", kind="absence", series="repro_depth", window=60.0)
+        )
+        series.append(0.0, 1.0)
+        assert manager.evaluate(now=30.0)[0].state == "inactive"
+        status = manager.evaluate(now=100.0)[0]  # 100 s old > 60 s window
+        assert status.state == "firing"
+        assert status.value == pytest.approx(100.0)  # the observed age
+        series.append(110.0, 1.0)
+        assert manager.evaluate(now=110.0)[0].state == "resolved"
+
+    def test_never_seen_series_is_absent(self):
+        manager = AlertManager(TimeSeriesStore())
+        manager.add_rule(
+            AlertRule(name="stale", kind="absence", series="never", window=60.0)
+        )
+        assert manager.evaluate(now=0.0)[0].state == "firing"
+
+
+class TestBurnRateRules:
+    BUCKETS = (0.1, 1.0)
+
+    def _store_with_burn(self, bad, total):
+        from repro.obs import metric_key
+
+        store = TimeSeriesStore()
+        key = metric_key("repro_request_latency_seconds", {"endpoint": "e"})
+        series = store.series(key, "histogram", buckets=self.BUCKETS)
+        series.append(0.0, {"counts": [0, 0, 0], "sum": 0.0, "count": 0, "max": 0.0})
+        series.append(
+            60.0,
+            {
+                "counts": [total - bad, bad, 0],
+                "sum": 0.0,
+                "count": total,
+                "max": 0.0,
+            },
+        )
+        return store
+
+    def test_watches_slo_via_evaluator_fallback(self):
+        store = self._store_with_burn(bad=10, total=100)  # burn 10x at 0.99
+        evaluator = SLOEvaluator(store)
+        evaluator.add(SLObjective.latency("e", threshold=0.1, objective=0.99))
+        manager = AlertManager(store, evaluator=evaluator)
+        manager.add_rule(AlertRule(name="burn", kind="burn_rate", slo="latency-e"))
+        assert manager.evaluate(now=60.0)[0].state == "firing"
+
+    def test_value_overrides_burn_threshold(self):
+        store = self._store_with_burn(bad=10, total=100)
+        evaluator = SLOEvaluator(store)
+        evaluator.add(SLObjective.latency("e", threshold=0.1, objective=0.99))
+        manager = AlertManager(store, evaluator=evaluator)
+        manager.add_rule(
+            AlertRule(name="burn", kind="burn_rate", slo="latency-e", value=50.0)
+        )
+        assert manager.evaluate(now=60.0)[0].state == "inactive"
+
+    def test_no_data_slo_never_fires(self):
+        store = TimeSeriesStore()
+        evaluator = SLOEvaluator(store)
+        evaluator.add(SLObjective.latency("e", threshold=0.1))
+        manager = AlertManager(store, evaluator=evaluator)
+        manager.add_rule(AlertRule(name="burn", kind="burn_rate", slo="latency-e"))
+        assert manager.evaluate(now=0.0)[0].state == "inactive"
+
+    def test_unknown_slo_never_fires(self):
+        manager = AlertManager(TimeSeriesStore())
+        manager.add_rule(AlertRule(name="burn", kind="burn_rate", slo="ghost"))
+        assert manager.evaluate(now=0.0, slo_statuses=[])[0].state == "inactive"
+
+
+class TestTransitionMetrics:
+    def test_every_transition_is_counted(self):
+        registry = MetricsRegistry()
+        manager, series = manager_with_gauge(registry)
+        manager.add_rule(
+            AlertRule(name="deep", kind="threshold", series="repro_depth", value=10.0)
+        )
+        series.append(0.0, 50.0)
+        manager.evaluate(now=0.0)  # inactive→pending→firing
+        series.append(10.0, 1.0)
+        manager.evaluate(now=10.0)  # firing→resolved
+
+        def count(to):
+            counter = registry.get(
+                "repro_alert_transitions_total", {"alert": "deep", "to": to}
+            )
+            return 0 if counter is None else counter.value
+
+        assert count("pending") == 1
+        assert count("firing") == 1
+        assert count("resolved") == 1
+        assert registry.get("repro_alerts_firing").value == 0
+
+    def test_firing_gauge_tracks_current_state(self):
+        registry = MetricsRegistry()
+        manager, series = manager_with_gauge(registry)
+        manager.add_rule(
+            AlertRule(name="deep", kind="threshold", series="repro_depth", value=10.0)
+        )
+        series.append(0.0, 50.0)
+        manager.evaluate(now=0.0)
+        assert registry.get("repro_alerts_firing").value == 1
+
+
+class TestExportAndSnapshot:
+    def test_to_json_round_trips(self):
+        manager, series = manager_with_gauge()
+        manager.add_rule(
+            AlertRule(name="deep", kind="threshold", series="repro_depth", value=10.0)
+        )
+        series.append(0.0, 50.0)
+        manager.evaluate(now=0.0)
+        exported = json.loads(manager.to_json())
+        assert exported["rules"][0]["name"] == "deep"
+        assert exported["states"]["deep"]["state"] == "firing"
+        assert exported["states"]["deep"]["transitions"] == 2
+
+    def test_replacing_a_rule_resets_its_state(self):
+        manager, series = manager_with_gauge()
+        rule = AlertRule(name="deep", kind="threshold", series="repro_depth", value=10.0)
+        manager.add_rule(rule)
+        series.append(0.0, 50.0)
+        manager.evaluate(now=0.0)
+        assert manager.state("deep") == "firing"
+        manager.add_rule(
+            AlertRule(name="deep", kind="threshold", series="repro_depth", value=99.0)
+        )
+        assert manager.state("deep") == "inactive"
+
+    def test_snapshot_preserves_rules_and_states(self, tmp_path):
+        from repro.store import load_component, save_component
+
+        manager, series = manager_with_gauge()
+        manager.add_rule(
+            AlertRule(name="deep", kind="threshold", series="repro_depth", value=10.0)
+        )
+        series.append(0.0, 50.0)
+        manager.evaluate(now=0.0)
+        save_component(manager, tmp_path / "snap")
+        restored = load_component(tmp_path / "snap")
+        assert restored.state("deep") == "firing"
+        assert restored.to_dict() == manager.to_dict()

@@ -1,0 +1,98 @@
+"""Quantile edge cases: empty, single-bucket, all-overflow, empty windows.
+
+The contract under test: degenerate inputs answer loudly (``nan``/``None``),
+never a fabricated 0.0 a dashboard would happily plot as "all good".
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import Histogram, Series, bucket_quantile
+
+
+class TestEmptyHistogram:
+    def test_every_quantile_is_nan(self):
+        hist = Histogram("repro_lat_seconds")
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert math.isnan(hist.quantile(q))
+        percentiles = hist.percentiles()
+        assert all(math.isnan(v) for v in percentiles.values())
+
+    def test_bucket_quantile_on_zero_counts_is_nan(self):
+        assert math.isnan(bucket_quantile([1.0, 2.0], [0, 0, 0], 0.5))
+
+    def test_invalid_q_raises_even_when_empty(self):
+        hist = Histogram("repro_lat_seconds")
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            bucket_quantile([1.0], [0, 0], -0.1)
+
+
+class TestSingleBucket:
+    def test_all_mass_in_one_bucket_interpolates_inside_it(self):
+        hist = Histogram("repro_lat_seconds", buckets=(1.0, 2.0, 4.0))
+        for _ in range(10):
+            hist.observe(1.5)  # all in the (1.0, 2.0] bucket
+        q50 = hist.quantile(0.5)
+        assert 1.0 < q50 <= 2.0
+        assert hist.quantile(1.0) == pytest.approx(2.0)
+
+    def test_single_boundary_histogram(self):
+        hist = Histogram("repro_lat_seconds", buckets=(1.0,))
+        hist.observe(0.5)
+        # One finite bucket holding everything: q interpolates over (0, 1].
+        assert 0.0 < hist.quantile(0.5) <= 1.0
+
+    def test_lowest_bucket_interpolates_from_zero(self):
+        hist = Histogram("repro_lat_seconds", buckets=(10.0, 20.0))
+        hist.observe(3.0)
+        hist.observe(7.0)
+        q50 = hist.quantile(0.5)
+        assert 0.0 < q50 <= 10.0
+
+
+class TestOverflowBucket:
+    def test_all_samples_in_overflow_answer_observed_max(self):
+        hist = Histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+        for value in (5.0, 9.0, 42.0):
+            hist.observe(value)
+        # Every observation is beyond the last boundary; the fixed buckets
+        # cannot interpolate, so the observed max is the honest upper bound.
+        assert hist.quantile(0.5) == 42.0
+        assert hist.quantile(0.99) == 42.0
+
+    def test_windowed_overflow_answers_highest_finite_boundary(self):
+        # From cumulative snapshots the window's true max is unknowable, so
+        # windowed quantiles cap at the highest finite boundary instead.
+        series = Series("k", "histogram", buckets=(0.1, 1.0))
+        base = {"counts": [0, 0, 0], "sum": 0.0, "count": 0, "max": 0.0}
+        series.append(0.0, dict(base))
+        series.append(10.0, {"counts": [0, 0, 8], "sum": 40.0, "count": 8, "max": 9.0})
+        assert series.windowed_quantile(0.5, 60.0, now=10.0) == 1.0
+
+
+class TestEmptyWindows:
+    def test_windowed_quantile_over_empty_window_is_none(self):
+        series = Series("k", "histogram", buckets=(0.1, 1.0))
+        sample = {"counts": [3, 2, 0], "sum": 1.0, "count": 5, "max": 0.9}
+        series.append(0.0, dict(sample))
+        series.append(10.0, dict(sample))  # no growth between ticks
+        assert series.windowed_quantile(0.5, 60.0, now=10.0) is None
+        percentiles = series.windowed_percentiles(60.0, now=10.0)
+        assert percentiles == {"p50": None, "p95": None, "p99": None}
+
+    def test_window_with_one_sample_is_none(self):
+        series = Series("k", "histogram", buckets=(0.1, 1.0))
+        series.append(0.0, {"counts": [1, 0, 0], "sum": 0.05, "count": 1, "max": 0.05})
+        assert series.windowed_quantile(0.5, 60.0, now=0.0) is None
+
+    def test_window_entirely_in_the_past_is_none(self):
+        series = Series("k", "histogram", buckets=(0.1, 1.0))
+        series.append(0.0, {"counts": [1, 0, 0], "sum": 0.05, "count": 1, "max": 0.05})
+        series.append(1.0, {"counts": [2, 0, 0], "sum": 0.10, "count": 2, "max": 0.05})
+        # now=100, window=10 → [90, 100]: both samples predate it.
+        assert series.windowed_quantile(0.5, 10.0, now=100.0) is None

@@ -3,6 +3,7 @@ quantile derivation, exposition formats, and the ambient-registry plumbing."""
 
 from __future__ import annotations
 
+import math
 import pickle
 
 import pytest
@@ -91,9 +92,11 @@ class TestHistogram:
         hist.observe(37.0)
         assert hist.quantile(0.99) == 37.0
 
-    def test_empty_histogram_quantile_is_zero(self):
+    def test_empty_histogram_quantile_is_nan(self):
+        # An empty histogram must answer loudly (NaN), never a fabricated 0.0
+        # that reads as "everything was instant".
         hist = MetricsRegistry().histogram("lat")
-        assert hist.quantile(0.5) == 0.0
+        assert math.isnan(hist.quantile(0.5))
         assert hist.mean == 0.0
 
     def test_quantile_rejects_out_of_range(self):
@@ -131,17 +134,17 @@ class TestHistogram:
 class TestRegistry:
     def test_get_or_create_is_idempotent_per_identity(self):
         registry = MetricsRegistry()
-        a = registry.counter("hits", {"endpoint": "x"})
-        b = registry.counter("hits", {"endpoint": "x"})
-        c = registry.counter("hits", {"endpoint": "y"})
+        a = registry.counter("hits_total", {"endpoint": "x"})
+        b = registry.counter("hits_total", {"endpoint": "x"})
+        c = registry.counter("hits_total", {"endpoint": "y"})
         assert a is b and a is not c
         assert len(registry) == 2
 
     def test_kind_conflict_raises(self):
         registry = MetricsRegistry()
-        registry.counter("thing")
+        registry.counter("thing_total")
         with pytest.raises(TypeError):
-            registry.gauge("thing")
+            registry.gauge("thing_total")
 
     def test_metric_key_sorts_labels(self):
         assert metric_key("m", {"b": 2, "a": 1}) == 'm{a="1",b="2"}'
@@ -149,9 +152,9 @@ class TestRegistry:
 
     def test_get_by_identity(self):
         registry = MetricsRegistry()
-        counter = registry.counter("hits", {"endpoint": "x"})
-        assert registry.get("hits", {"endpoint": "x"}) is counter
-        assert registry.get("hits") is None
+        counter = registry.counter("hits_total", {"endpoint": "x"})
+        assert registry.get("hits_total", {"endpoint": "x"}) is counter
+        assert registry.get("hits_total") is None
 
     def test_export_and_merge_state_roundtrip(self):
         source = MetricsRegistry()
@@ -206,15 +209,15 @@ class TestRegistry:
 
     def test_snapshot_hooks_drop_and_rebuild_locks(self):
         registry = MetricsRegistry()
-        registry.counter("hits").inc(2)
+        registry.counter("hits_total").inc(2)
         hist = registry.histogram("lat", buckets=(1.0,))
         hist.observe(0.5)
         state = registry.__snapshot_state__()
         assert "_lock" not in state
         restored = MetricsRegistry.__new__(MetricsRegistry)
         restored.__snapshot_restore__(state)
-        restored.counter("hits").inc(1)  # lock works again
-        assert restored.counter("hits").value == 3.0
+        restored.counter("hits_total").inc(1)  # lock works again
+        assert restored.counter("hits_total").value == 3.0
 
 
 class TestDefaultBuckets:

@@ -1,0 +1,203 @@
+"""SLO burn-rate math and error-budget accounting, pinned numerically.
+
+Every evaluation runs at an injected instant against hand-built series, so
+each expected burn rate is checkable by hand:
+``burn = (bad/total) / (1 - objective)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, SLObjective, SLOEvaluator, TimeSeriesStore, metric_key
+
+BUCKETS = (0.05, 0.1, 0.5)
+LATENCY_KEY = metric_key("repro_request_latency_seconds", {"endpoint": "e"})
+
+
+def append_latency(store, now, under, over, buckets=BUCKETS):
+    """Cumulative snapshot: ``under`` obs <= 0.1 s, ``over`` beyond it."""
+    series = store.series(LATENCY_KEY, "histogram", buckets=buckets)
+    series.append(
+        now,
+        {
+            "counts": [under, 0, over, 0],
+            "sum": 0.0,
+            "count": under + over,
+            "max": 0.0,
+            "buckets": list(buckets),
+        },
+    )
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_refuses(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLObjective(name="x", kind="availability")
+
+    def test_objective_must_be_interior_fraction(self):
+        for bad in (0.0, 1.0, 1.5):
+            with pytest.raises(ValueError, match="objective"):
+                SLObjective(name="x", objective=bad)
+
+    def test_windows_must_nest(self):
+        with pytest.raises(ValueError, match="window"):
+            SLObjective(name="x", fast_window=600.0, slow_window=300.0)
+
+    def test_error_ratio_needs_both_series(self):
+        with pytest.raises(ValueError, match="error_ratio"):
+            SLObjective(name="x", kind="error_ratio", total_series="t")
+
+    def test_declarative_constructors_derive_series_keys(self):
+        latency = SLObjective.latency("e", threshold=0.1)
+        assert latency.name == "latency-e"
+        assert latency.series_key() == LATENCY_KEY
+        q_error = SLObjective.q_error("e")
+        assert q_error.series_key() == metric_key("repro_q_error", {"endpoint": "e"})
+        ratio = SLObjective.error_ratio("r", total_series="t", bad_series="b")
+        assert ratio.series_key() is None
+
+
+class TestBurnMath:
+    def evaluate(self, store, objective, now):
+        return SLOEvaluator(store).evaluate_objective(objective, now)
+
+    def test_burn_is_bad_fraction_over_allowed_fraction(self):
+        store = TimeSeriesStore()
+        append_latency(store, 0.0, under=0, over=0)
+        # 100 events in the window, 2 bad, objective 0.99 → allowed 1%;
+        # bad fraction 2% → burn exactly 2.0 on both windows.
+        append_latency(store, 60.0, under=98, over=2)
+        objective = SLObjective.latency(
+            "e",
+            threshold=0.1,
+            objective=0.99,
+            fast_window=300.0,
+            slow_window=3600.0,
+            burn_threshold=1.5,  # off the 2.0 burn value: no float knife-edge
+        )
+        status = self.evaluate(store, objective, now=60.0)
+        assert status.fast_bad == 2.0 and status.fast_total == 100.0
+        assert status.fast_burn == pytest.approx(2.0)
+        assert status.slow_burn == pytest.approx(2.0)
+        assert status.budget_remaining == pytest.approx(-1.0)  # 2x pace → overspent
+        assert status.breaching
+        assert not status.no_data
+
+    def test_budget_remaining_tracks_slow_window(self):
+        store = TimeSeriesStore()
+        append_latency(store, 0.0, under=0, over=0)
+        # 0.5% bad at objective 0.99 → burn 0.5 → half the budget left.
+        append_latency(store, 60.0, under=995, over=5)
+        objective = SLObjective.latency("e", threshold=0.1, objective=0.99)
+        status = self.evaluate(store, objective, now=60.0)
+        assert status.slow_burn == pytest.approx(0.5)
+        assert status.budget_remaining == pytest.approx(0.5)
+        assert not status.breaching
+
+    def test_threshold_boundary_is_good(self):
+        # The threshold rides the bucket boundary: an observation in the
+        # 0.1-bucket counts as good for threshold=0.1 (<= semantics).
+        store = TimeSeriesStore()
+        series = store.series(LATENCY_KEY, "histogram", buckets=BUCKETS)
+        series.append(0.0, {"counts": [0, 0, 0, 0], "sum": 0.0, "count": 0, "max": 0.0})
+        series.append(
+            60.0, {"counts": [0, 10, 0, 0], "sum": 0.0, "count": 10, "max": 0.0}
+        )
+        objective = SLObjective.latency("e", threshold=0.1, objective=0.9)
+        status = self.evaluate(store, objective, now=60.0)
+        assert status.fast_bad == 0.0
+        assert status.fast_burn == 0.0
+
+    def test_breaching_requires_both_windows_hot(self):
+        store = TimeSeriesStore()
+        append_latency(store, 0.0, under=0, over=0)
+        append_latency(store, 3000.0, under=980, over=0)
+        # A burst inside the fast window only: 20 bad of 20 recent events,
+        # but the slow window dilutes them across 1000 total.
+        append_latency(store, 3590.0, under=980, over=20)
+        objective = SLObjective.latency(
+            "e",
+            threshold=0.1,
+            objective=0.99,
+            fast_window=600.0,
+            slow_window=3600.0,
+            burn_threshold=30.0,
+        )
+        status = self.evaluate(store, objective, now=3590.0)
+        assert status.fast_burn == pytest.approx(100.0)  # 100% bad / 1%
+        assert status.slow_burn == pytest.approx(2.0)  # 2% bad / 1%
+        assert not status.breaching  # slow window below threshold: a blip
+
+    def test_no_data_is_loud_not_zero(self):
+        store = TimeSeriesStore()
+        objective = SLObjective.latency("e", threshold=0.1)
+        status = self.evaluate(store, objective, now=0.0)
+        assert status.no_data
+        assert status.fast_burn is None
+        assert status.slow_burn is None
+        assert status.budget_remaining is None
+        assert not status.breaching
+
+    def test_single_scrape_point_is_still_no_data(self):
+        store = TimeSeriesStore()
+        append_latency(store, 0.0, under=50, over=50)
+        objective = SLObjective.latency("e", threshold=0.1)
+        status = self.evaluate(store, objective, now=0.0)
+        assert status.no_data  # one cumulative snapshot holds no delta
+
+    def test_error_ratio_divides_counters(self):
+        store = TimeSeriesStore()
+        total = store.series("repro_requests_total", "counter")
+        bad = store.series("repro_failures_total", "counter")
+        for now, t, b in [(0.0, 0.0, 0.0), (60.0, 200.0, 10.0)]:
+            total.append(now, t)
+            bad.append(now, b)
+        objective = SLObjective.error_ratio(
+            "failures",
+            total_series="repro_requests_total",
+            bad_series="repro_failures_total",
+            objective=0.9,
+        )
+        status = SLOEvaluator(store).evaluate_objective(objective, now=60.0)
+        # 5% bad over a 10% allowance → burn 0.5 on both windows.
+        assert status.fast_burn == pytest.approx(0.5)
+        assert status.budget_remaining == pytest.approx(0.5)
+
+
+class TestEvaluatorRecording:
+    def test_evaluate_records_burn_gauges(self):
+        store = TimeSeriesStore()
+        registry = MetricsRegistry()
+        append_latency(store, 0.0, under=0, over=0)
+        append_latency(store, 60.0, under=98, over=2)
+        evaluator = SLOEvaluator(store, registry=registry)
+        evaluator.add(SLObjective.latency("e", threshold=0.1, objective=0.99))
+        statuses = evaluator.evaluate(now=60.0)
+        assert len(statuses) == 1
+        fast = registry.get("repro_slo_burn_rate", {"slo": "latency-e", "window": "fast"})
+        slow = registry.get("repro_slo_burn_rate", {"slo": "latency-e", "window": "slow"})
+        budget = registry.get("repro_slo_budget_remaining", {"slo": "latency-e"})
+        assert fast.value == pytest.approx(2.0)
+        assert slow.value == pytest.approx(2.0)
+        assert budget.value == pytest.approx(-1.0)
+
+    def test_record_false_leaves_registry_untouched(self):
+        store = TimeSeriesStore()
+        registry = MetricsRegistry()
+        append_latency(store, 0.0, under=0, over=0)
+        append_latency(store, 60.0, under=98, over=2)
+        evaluator = SLOEvaluator(store, registry=registry)
+        evaluator.add(SLObjective.latency("e", threshold=0.1))
+        evaluator.evaluate(now=60.0, record=False)
+        assert registry.get("repro_slo_burn_rate", {"slo": "latency-e", "window": "fast"}) is None
+
+    def test_declarative_replace_and_deterministic_order(self):
+        evaluator = SLOEvaluator(TimeSeriesStore())
+        evaluator.add(SLObjective.latency("b"))
+        evaluator.add(SLObjective.latency("a"))
+        evaluator.add(SLObjective.latency("a", threshold=0.5))  # replace
+        assert len(evaluator) == 2
+        names = [status.name for status in evaluator.evaluate(now=0.0)]
+        assert names == ["latency-a", "latency-b"]
+        assert evaluator.objectives()[0].threshold == 0.5

@@ -1,0 +1,249 @@
+"""Ring-buffer series, windowed rollups, and the scraper — injected clock
+throughout (RPR004): every ``now`` is an explicit test-chosen instant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, Scraper, Series, TimeSeriesStore, metric_key
+from repro.runtime import Runtime
+
+BUCKETS = (0.1, 1.0, 10.0)
+
+
+def hist_sample(counts, total_sum=0.0, maximum=0.0):
+    return {
+        "counts": list(counts),
+        "sum": total_sum,
+        "count": sum(counts),
+        "max": maximum,
+        "buckets": list(BUCKETS),
+    }
+
+
+class TestSeries:
+    def test_ring_capacity_drops_oldest(self):
+        series = Series("k", "gauge", capacity=4)
+        for t in range(10):
+            series.append(float(t), float(t))
+        assert len(series) == 4
+        assert series.points() == [(6.0, 6.0), (7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+        assert series.latest() == (9.0, 9.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Series("k", "trend")
+        with pytest.raises(ValueError):
+            Series("k", "gauge", capacity=1)
+        with pytest.raises(ValueError):
+            Series("k", "histogram")  # histograms need their boundaries
+
+    def test_increase_and_rate_over_window(self):
+        series = Series("k", "counter")
+        for t, v in [(0.0, 10.0), (10.0, 16.0), (20.0, 22.0), (30.0, 40.0)]:
+            series.append(t, v)
+        # Window [10, 30]: 40 - 16 = 24 over a 20 s observed span.
+        assert series.increase(20.0, now=30.0) == 24.0
+        assert series.rate(20.0, now=30.0) == pytest.approx(1.2)
+        # The full history: 30 growth over 30 s.
+        assert series.rate(100.0, now=30.0) == pytest.approx(1.0)
+
+    def test_single_sample_window_is_none_not_zero(self):
+        series = Series("k", "counter")
+        series.append(0.0, 5.0)
+        assert series.increase(60.0, now=0.0) is None
+        assert series.rate(60.0, now=0.0) is None
+        # Two samples at the same instant: zero span, still no rate.
+        series.append(0.0, 7.0)
+        assert series.rate(60.0, now=0.0) is None
+
+    def test_counter_reset_counts_restart_as_new_growth(self):
+        series = Series("k", "counter")
+        series.append(0.0, 100.0)
+        series.append(10.0, 7.0)  # the producer restarted
+        assert series.increase(60.0, now=10.0) == 7.0
+
+    def test_histogram_delta_and_windowed_quantile(self):
+        series = Series("k", "histogram", buckets=BUCKETS)
+        series.append(0.0, hist_sample([5, 0, 0, 0]))
+        series.append(60.0, hist_sample([5, 20, 0, 0]))
+        delta = series.delta(120.0, now=60.0)
+        assert delta["counts"] == [0, 20, 0, 0]
+        assert delta["count"] == 20
+        # All 20 window observations landed in (0.1, 1.0]; the old 5 in the
+        # first bucket are pre-window history and must not skew the quantile.
+        q50 = series.windowed_quantile(0.5, 120.0, now=60.0)
+        assert 0.1 < q50 <= 1.0
+
+    def test_histogram_reset_treats_snapshot_as_growth(self):
+        series = Series("k", "histogram", buckets=BUCKETS)
+        series.append(0.0, hist_sample([9, 9, 0, 0]))
+        series.append(10.0, hist_sample([2, 0, 0, 0]))  # restarted child
+        delta = series.delta(60.0, now=10.0)
+        assert delta["counts"] == [2, 0, 0, 0]
+        assert delta["count"] == 2
+
+    def test_bucket_boundary_change_refuses(self):
+        series = Series("k", "histogram", buckets=BUCKETS)
+        series.append(0.0, hist_sample([1, 0, 0, 0]))
+        changed = hist_sample([1, 0, 0, 0])
+        changed["buckets"] = [0.5, 1.0, 10.0]
+        with pytest.raises(ValueError, match="bucket boundaries"):
+            series.append(1.0, changed)
+
+    def test_delta_on_non_histogram_refuses(self):
+        series = Series("k", "gauge")
+        with pytest.raises(TypeError):
+            series.delta(60.0, now=0.0)
+
+    def test_prune_and_downsample(self):
+        series = Series("k", "gauge", capacity=64)
+        for t in range(12):
+            series.append(float(t), float(t))
+        assert series.prune(4.0) == 4
+        assert series.points()[0] == (4.0, 4.0)
+        dropped = series.downsample(2)
+        assert dropped > 0
+        times = [t for t, _ in series.points()]
+        assert times[-1] == 11.0  # the newest sample always survives
+
+    def test_export_merge_interleaves_newest_wins(self):
+        ours = Series("k", "counter", capacity=4)
+        theirs = Series("k", "counter", capacity=4)
+        for t in (0.0, 2.0, 4.0):
+            ours.append(t, t)
+        for t in (1.0, 3.0, 5.0):
+            theirs.append(t, t)
+        ours.merge_state(theirs.export_state())
+        assert [t for t, _ in ours.points()] == [2.0, 3.0, 4.0, 5.0]
+
+    def test_merge_kind_mismatch_refuses(self):
+        gauge = Series("k", "gauge")
+        counter = Series("k", "counter")
+        with pytest.raises(ValueError, match="kind"):
+            gauge.merge_state(counter.export_state())
+
+
+class TestTimeSeriesStore:
+    def test_sample_registry_creates_typed_series(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ticks_total").inc(3)
+        registry.gauge("repro_depth").set(7.0)
+        registry.histogram("repro_lat_seconds", buckets=BUCKETS).observe(0.5)
+        store = TimeSeriesStore()
+        assert store.sample_registry(registry, now=1.0) == 3
+        assert store.get("repro_ticks_total").kind == "counter"
+        assert store.get("repro_depth").kind == "gauge"
+        assert store.get("repro_lat_seconds").kind == "histogram"
+        registry.counter("repro_ticks_total").inc(5)
+        store.sample_registry(registry, now=2.0)
+        assert store.increase("repro_ticks_total", 10.0, now=2.0) == 5.0
+
+    def test_retention_prunes_at_scrape(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_depth").set(1.0)
+        store = TimeSeriesStore(retention_seconds=10.0)
+        for now in (0.0, 5.0, 20.0):
+            store.sample_registry(registry, now)
+        assert [t for t, _ in store.get("repro_depth").points()] == [20.0]
+
+    def test_store_merge_and_snapshot_roundtrip(self, tmp_path):
+        from repro.store import load_component, save_component
+
+        store = TimeSeriesStore()
+        series = store.series(metric_key("repro_x_total", {"endpoint": "e"}), "counter")
+        series.append(1.0, 4.0)
+        series.append(2.0, 9.0)
+
+        other = TimeSeriesStore()
+        other.series("repro_y", "gauge").append(3.0, 1.5)
+        store.merge(other)
+        assert "repro_y" in store
+
+        save_component(store, tmp_path / "snap")
+        restored = load_component(tmp_path / "snap")
+        assert restored.to_dict() == store.to_dict()
+        assert restored.increase('repro_x_total{endpoint="e"}', 10.0, now=2.0) == 5.0
+
+    def test_rollups_on_missing_series_are_none(self):
+        store = TimeSeriesStore()
+        assert store.rate("nope", 10.0, now=0.0) is None
+        assert store.increase("nope", 10.0, now=0.0) is None
+        assert store.windowed_quantile("nope", 0.5, 10.0, now=0.0) is None
+        assert store.latest("nope") is None
+
+
+class TestScraper:
+    def test_deterministic_ticks_with_injected_clock(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_ticks_total")
+        store = TimeSeriesStore()
+        ticks = iter([10.0, 20.0])
+        scraper = Scraper(store, interval=1.0, clock=lambda: next(ticks))
+        scraper.add_source(registry)
+        seen = []
+        scraper.on_tick = seen.append
+        counter.inc()
+        assert scraper.scrape_once() == 10.0
+        counter.inc(3)
+        assert scraper.scrape_once() == 20.0
+        assert seen == [10.0, 20.0]
+        assert scraper.ticks == 2
+        assert store.increase("repro_ticks_total", 60.0, now=20.0) == 3.0
+
+    def test_failures_are_counted_never_fatal(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ok_total").inc()
+        store = TimeSeriesStore()
+        scraper = Scraper(store, interval=1.0)
+        scraper.add_source(registry)
+
+        def bad_collector():
+            raise RuntimeError("collector broke")
+
+        def bad_tick(now):
+            raise RuntimeError("tick broke")
+
+        scraper.add_collector(bad_collector)
+        scraper.on_tick = bad_tick
+        scraper.scrape_once(now=1.0)
+        assert scraper.failures == 2
+        failures = registry.get("repro_scrape_failures_total")
+        assert failures is not None and failures.value == 2
+        # The registry was still sampled despite both hook failures.
+        assert "repro_ok_total" in store
+
+    def test_background_loop_on_runtime_pool(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_depth").set(1.0)
+        store = TimeSeriesStore()
+        scraper = Scraper(store, interval=0.01)
+        scraper.add_source(registry)
+        runtime = Runtime()
+        try:
+            scraper.start(runtime)
+            assert scraper.running
+            scraper.start(runtime)  # idempotent while running
+            deadline_ticks = 0
+            loop_ticks = scraper.stop()
+            assert not scraper.running
+            assert loop_ticks is not None and loop_ticks >= deadline_ticks
+            assert scraper.stop() is None  # idempotent when stopped
+        finally:
+            runtime.shutdown()
+
+    def test_running_scraper_refuses_snapshot(self):
+        store = TimeSeriesStore()
+        scraper = Scraper(store, interval=0.05)
+        runtime = Runtime()
+        try:
+            scraper.start(runtime)
+            with pytest.raises(RuntimeError, match="running Scraper"):
+                scraper.__snapshot_state__()
+        finally:
+            scraper.stop()
+            runtime.shutdown()
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            Scraper(TimeSeriesStore(), interval=0.0)
