@@ -1,4 +1,4 @@
-"""Rule registry: one visitor class per rule, RPR001–RPR009.
+"""Rule registry: one visitor class per rule, RPR001–RPR010.
 
 Each rule class carries its ``code``, a one-line ``summary``, and a
 ``rationale`` naming the historical bug or pinned invariant it encodes —
@@ -14,6 +14,7 @@ from .locking import LockDisciplineRule
 from .caching import FrozenCacheArrayRule
 from .determinism import SeededRandomRule
 from .naming import MetricNamingRule
+from .updates import UpdatePathRebuildRule
 
 #: Every shipped rule, in code order.
 ALL_RULES = [
@@ -26,6 +27,7 @@ ALL_RULES = [
     FrozenCacheArrayRule,
     SeededRandomRule,
     MetricNamingRule,
+    UpdatePathRebuildRule,
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
@@ -42,4 +44,5 @@ __all__ = [
     "FrozenCacheArrayRule",
     "MetricNamingRule",
     "SeededRandomRule",
+    "UpdatePathRebuildRule",
 ]

@@ -26,9 +26,10 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
-from ..datasets.updates import UpdateOperation, apply_operation
+from ..datasets.updates import UpdateOperation
 from ..selection import SimilaritySelector
-from ..workloads.builder import relabel
+from ..selection.delta import resolve_delete_positions
+from ..workloads.builder import relabel, relabel_delta
 from ..workloads.examples import QueryExample
 from .estimator import CardNetEstimator
 
@@ -84,6 +85,11 @@ class IncrementalUpdateManager:
         self.service = service
         self.service_endpoint = service_endpoint
         self._baseline_validation_error: Optional[float] = None
+        # Δ rows applied since the training labels were last refreshed —
+        # replayed as one delta relabel when a retrain actually happens, so
+        # update steps that skip retraining never touch the training set.
+        self._pending_train_inserted: List = []
+        self._pending_train_removed: List = []
 
     # ------------------------------------------------------------------ #
     # Serving integration
@@ -144,6 +150,8 @@ class IncrementalUpdateManager:
         error_after = error_before
         if force_retrain or error_before > self._baseline_validation_error + self.error_tolerance:
             self.train_examples = relabel(self.train_examples, self.selector)
+            self._pending_train_inserted = []
+            self._pending_train_removed = []
             result = self.estimator.incremental_fit(
                 self.train_examples,
                 self.validation_examples,
@@ -163,15 +171,51 @@ class IncrementalUpdateManager:
             epochs_run=epochs_run,
         )
 
+    def _apply_operation_delta(self, operation: UpdateOperation) -> tuple:
+        """Apply one operation to the selector *in place* as an O(Δ) delta.
+
+        Returns ``(inserted, removed)`` — the record objects the operation
+        added and dropped — so label maintenance can relabel against only
+        those rows.  Delete positions follow the stream's lenient
+        :func:`~repro.datasets.updates.apply_operation` semantics
+        (out-of-range skipped, duplicates collapsed)."""
+        if operation.kind == "insert":
+            inserted = list(operation.records)
+            if inserted:
+                self.selector.insert_many(inserted)
+                self.records.extend(inserted)
+            return inserted, []
+        positions = resolve_delete_positions(len(self.records), operation.records)
+        if positions.size == 0:
+            return [], []
+        removed = [self.records[int(i)] for i in positions]
+        self.selector.delete_many(positions)
+        dropped = {int(i) for i in positions}
+        self.records = [
+            record for index, record in enumerate(self.records) if index not in dropped
+        ]
+        return [], removed
+
     def process(self, operation: UpdateOperation, operation_index: int = 0) -> UpdateStepReport:
-        """Apply one update operation and retrain incrementally if needed."""
-        self.records = apply_operation(self.records, operation)
-        self.selector = self.selector.rebuild(self.records)
+        """Apply one update operation and retrain incrementally if needed.
+
+        The selector absorbs the operation as an in-place O(Δ) delta (append
+        segments + tombstones — no index rebuild), validation labels are
+        corrected from probe selectors over only the Δ rows
+        (:func:`~repro.workloads.builder.relabel_delta`), and training labels
+        are only touched when a retrain actually triggers — replaying every
+        delta accumulated since the last refresh in one pass.
+        """
+        inserted, removed = self._apply_operation_delta(operation)
+        self._pending_train_inserted.extend(inserted)
+        self._pending_train_removed.extend(removed)
         # The dataset changed, so every cached curve for this estimator is stale.
         self._invalidate_serving_cache()
 
         # Step 1: refresh validation labels and measure the error.
-        self.validation_examples = relabel(self.validation_examples, self.selector)
+        self.validation_examples = relabel_delta(
+            self.validation_examples, self.selector, inserted, removed
+        )
         error_before = self._validation_msle()
         if self._baseline_validation_error is None:
             self._baseline_validation_error = error_before
@@ -181,7 +225,22 @@ class IncrementalUpdateManager:
         error_after = error_before
         if error_before > self._baseline_validation_error + self.error_tolerance:
             # Step 2: refresh training labels and continue training in place.
-            self.train_examples = relabel(self.train_examples, self.selector)
+            # Probing every pending delta stays exact (deltas are additive
+            # and cancel when a row was inserted then removed); once the
+            # accumulated Δ rivals the dataset itself, one full relabel is
+            # cheaper than two large probes.
+            pending = len(self._pending_train_inserted) + len(self._pending_train_removed)
+            if pending >= max(1, len(self.records)):
+                self.train_examples = relabel(self.train_examples, self.selector)
+            else:
+                self.train_examples = relabel_delta(
+                    self.train_examples,
+                    self.selector,
+                    self._pending_train_inserted,
+                    self._pending_train_removed,
+                )
+            self._pending_train_inserted = []
+            self._pending_train_removed = []
             result = self.estimator.incremental_fit(
                 self.train_examples,
                 self.validation_examples,

@@ -62,9 +62,48 @@ class AttributeBinding:
         return [self.records[int(record_id)] for record_id in record_ids]
 
     def replace_records(self, records: Sequence) -> None:
-        """Point the binding at an updated column and rebuild its index."""
+        """Point the binding at an updated column and rebuild its index.
+
+        The wholesale path — for bulk replacement, not incremental updates
+        (those go through :meth:`apply_delta`, which is O(Δ)).
+        """
         self.records = records
-        self.selector = self.selector.rebuild(records)
+        self.selector = self.selector.rebuild(records)  # repro: ignore[RPR010] - wholesale column replacement, not the update path
+        self.version += 1
+
+    def apply_delta(self, operation) -> None:
+        """Absorb one update operation as an in-place O(Δ) index delta.
+
+        The selector keeps its identity (append segments + tombstones on
+        delta-maintained selectors); only the column view and version move.
+        Delete positions follow the update stream's lenient
+        :func:`~repro.datasets.updates.apply_operation` semantics.
+        """
+        from ..selection.delta import resolve_delete_positions
+
+        if operation.kind == "insert":
+            added = list(operation.records)
+            if added:
+                self.selector.insert_many(added)
+                if isinstance(self.records, np.ndarray):
+                    self.records = np.concatenate(
+                        [self.records, np.asarray(added, dtype=self.records.dtype)]
+                    )
+                else:
+                    self.records = list(self.records) + added
+        else:
+            positions = resolve_delete_positions(len(self.records), operation.records)
+            if positions.size:
+                self.selector.delete_many(positions)
+                if isinstance(self.records, np.ndarray):
+                    self.records = np.delete(self.records, positions, axis=0)
+                else:
+                    dropped = {int(i) for i in positions}
+                    self.records = [
+                        record
+                        for index, record in enumerate(self.records)
+                        if index not in dropped
+                    ]
         self.version += 1
 
 

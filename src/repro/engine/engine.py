@@ -31,7 +31,7 @@ from ..core.incremental import (
     UpdateStepReport,
 )
 from ..core.interface import CardinalityEstimator
-from ..datasets.updates import UpdateOperation, apply_operation
+from ..datasets.updates import UpdateOperation
 from ..obs.explain import ExplainAnalyzeReport, PredicateAnalysis, SlowQueryLog
 from ..obs.monitor import HealthReport, MonitoringHub, build_health_report
 from ..obs.trace import current_span, span, start_trace
@@ -40,6 +40,12 @@ from ..selection import PigeonholeHammingSelector, SimilaritySelector, default_s
 from ..serving import EstimationService
 from ..sharding import Partitioner, ShardedEstimatorGroup, ShardedSelector
 from ..sharding.group import resolve_curve_grid
+from ..sharding.rebalance import (
+    RebalancePlan,
+    Rebalancer,
+    RebalanceReport,
+    suggest_plan,
+)
 from .catalog import AttributeBinding, AttributeCatalog
 from .executor import QueryExecutor, QueryResult
 from .feedback import FeedbackMonitor
@@ -100,7 +106,7 @@ class _ManagerLink:
         if self._synced_version == self.binding.version:
             return
         self.manager.records = list(self.binding.records)
-        self.manager.selector = self.manager.selector.rebuild(self.manager.records)
+        self.manager.selector = self.manager.selector.rebuild(self.manager.records)  # repro: ignore[RPR010] - resync after wholesale replace_records, not the update path
         self._synced_version = self.binding.version
 
     def revalidate(self):
@@ -184,6 +190,11 @@ class SimilarityQueryEngine:
         self._links: Dict[str, "Union[_ManagerLink, _ShardedManagerLink]"] = {}
         self._groups: Dict[str, ShardedEstimatorGroup] = {}
         self._shard_managers: Dict[str, Dict[int, IncrementalUpdateManager]] = {}
+        #: Per-shard estimator factories kept from register_sharded_attribute
+        #: so a live rebalance can build estimators for the new shard layout.
+        #: Caller closures — dropped from snapshots; re-arm after restore with
+        #: :meth:`set_estimator_factory` before rebalancing.
+        self._estimator_factories: Dict[str, Callable] = {}
         #: Always-on ring buffer of recent queries slower than the threshold;
         #: the escalation path is re-running an entry through explain_analyze.
         self.slow_queries = SlowQueryLog(
@@ -362,11 +373,98 @@ class SimilarityQueryEngine:
             raise
         binding.shard_endpoints = list(group.shard_endpoints)
         self._groups[name] = group
+        self._estimator_factories[name] = estimator_factory
         return binding
+
+    def set_estimator_factory(
+        self,
+        name: str,
+        estimator_factory: Callable[[Sequence, int], CardinalityEstimator],
+    ) -> None:
+        """(Re-)arm the per-shard estimator factory a rebalance builds with.
+
+        Factories are caller closures and do not survive snapshots; a
+        restored engine needs one set again before :meth:`rebalance_attribute`
+        can construct estimators for a new shard layout.
+        """
+        binding = self.catalog.get(name)
+        if not binding.sharded:
+            raise ValueError(f"attribute {name!r} is not sharded")
+        self._estimator_factories[name] = estimator_factory
 
     def shard_group(self, name: str) -> ShardedEstimatorGroup:
         """The serving group behind a sharded attribute (introspection)."""
         return self._groups[name]
+
+    def rebalance_attribute(
+        self,
+        name: str,
+        plan: Optional[RebalancePlan] = None,
+        rebalancer: Optional[Rebalancer] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> Optional[RebalanceReport]:
+        """Reshape a sharded attribute's layout while it keeps serving.
+
+        Without an explicit ``plan``, one is derived from the current shard
+        sizes plus the per-shard query-latency series the monitoring hub has
+        scraped (:func:`~repro.sharding.suggest_plan`); a balanced layout
+        returns ``None`` without doing anything.  The selector-side swap is
+        atomic (old layout serves queries and journals updates until commit);
+        afterwards the serving group is rebuilt — fresh per-shard estimators
+        from the registered factory, new ``name#shardK`` endpoints on the
+        same curve grid — and attached per-shard update managers are dropped
+        (they were built for the old layout; reattach with
+        :meth:`attach_shard_managers` if per-shard paper-§8 maintenance is
+        still wanted).
+        """
+        binding = self.catalog.get(name)
+        if not binding.sharded:
+            raise ValueError(f"attribute {name!r} is not sharded")
+        factory = self._estimator_factories.get(name)
+        if factory is None:
+            raise RuntimeError(
+                f"no estimator factory registered for {name!r} (factories do "
+                "not survive snapshots); call set_estimator_factory first"
+            )
+        selector: ShardedSelector = binding.selector
+        if plan is None:
+            store = self.monitoring.store if self.monitoring is not None else None
+            # The hub's scraper stamps samples with time.monotonic(); the
+            # latency window must be read on the same clock.
+            now = time.monotonic() if store is not None else None
+            plan = suggest_plan(selector._assignment, store=store, now=now)
+            if plan is None:
+                return None
+        if rebalancer is None:
+            rebalancer = Rebalancer(runtime=self.runtime)
+        with span("engine.rebalance", attribute=name, actions=len(plan)):
+            report = rebalancer.execute(selector, plan, partitioner=partitioner)
+            # New serving estimators are built *before* the old group comes
+            # down, so the unregister→register gap stays as short as possible.
+            estimators = [
+                factory(list(shard.dataset), shard_index)
+                for shard_index, shard in enumerate(selector.shards)
+            ]
+            old_group = self._groups[name]
+            grid = old_group.curve_thetas
+            old_group.unregister()
+            group = ShardedEstimatorGroup(
+                name,
+                self.service,
+                estimators,
+                curve_thetas=grid,
+                distance_name=binding.distance.name,
+            )
+            self._groups[name] = group
+            binding.shard_endpoints = list(group.shard_endpoints)
+            binding.records = selector.dataset
+            binding.version += 1
+            # Per-shard managers were built for the old layout; drop them so
+            # drift repair never retrains against shards that no longer exist.
+            if self._shard_managers.pop(name, None) is not None:
+                self._links.pop(name, None)
+                self.feedback.detach_manager(binding.endpoint)
+        return report
 
     def attach_shard_managers(
         self,
@@ -642,11 +740,19 @@ class SimilarityQueryEngine:
         report: Optional[UpdateStepReport] = None
         if manager is not None:
             report = manager.process(operation, operation_index)
-            binding.replace_records(manager.records)
+            if manager.selector is binding.selector:
+                # The manager applied the delta to the shared index in place;
+                # just resync the column view.
+                binding.records = manager.records
+                binding.version += 1
+            else:
+                # Distinct index objects: the binding absorbs the same
+                # operation as its own O(Δ) delta — no rebuild either way.
+                binding.apply_delta(operation)
             # The manager applied this update itself — its view is current.
             self._links[name]._synced_version = binding.version
         else:
-            binding.replace_records(apply_operation(list(binding.records), operation))
+            binding.apply_delta(operation)
             self.service.invalidate(binding.endpoint)
         if isinstance(binding.selector, PigeonholeHammingSelector):
             self._register_part_endpoints(binding)
@@ -762,8 +868,12 @@ class SimilarityQueryEngine:
     def __snapshot_state__(self) -> Dict[str, Any]:
         """Explicit full-``__dict__`` capture (matched pair of the restore
         hook below — RPR002).  The runtime/service attributes carry their
-        own hooks that drop live pools and locks; nothing is dropped here."""
-        return dict(self.__dict__)
+        own hooks that drop live pools and locks; the per-attribute estimator
+        factories are caller closures (unserializable) and are dropped — a
+        restored engine re-arms them with :meth:`set_estimator_factory`."""
+        state = dict(self.__dict__)
+        state["_estimator_factories"] = {}
+        return state
 
     def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
         # Engines saved before the observability layer carry no slow-query
@@ -774,6 +884,7 @@ class SimilarityQueryEngine:
         # ... and engines saved before continuous monitoring carry no hub.
         if "monitoring" not in self.__dict__:
             self.monitoring = None
+        self.__dict__.setdefault("_estimator_factories", {})
 
     # ------------------------------------------------------------------ #
     # Introspection

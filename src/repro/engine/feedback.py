@@ -79,6 +79,13 @@ class FeedbackMonitor:
             raise TypeError(f"manager for {endpoint!r} has no revalidate() method")
         self._managers[endpoint] = manager
 
+    def detach_manager(self, endpoint: str) -> bool:
+        """Drop the repair manager for ``endpoint`` (e.g. before a rebalance
+        replaces the shard layout it was built for); returns whether one was
+        attached.  Drift observations keep accumulating — they just trigger
+        no repair until a new manager is attached."""
+        return self._managers.pop(endpoint, None) is not None
+
     # ------------------------------------------------------------------ #
     # Observation path
     # ------------------------------------------------------------------ #

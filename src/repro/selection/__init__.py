@@ -1,6 +1,14 @@
 """Exact similarity-selection algorithms (label generation + Exact oracle)."""
 
 from .base import SimilaritySelector
+from .delta import (
+    CompactionPolicy,
+    DeltaIndexMixin,
+    GrowableArray,
+    TombstoneView,
+    check_delete_positions,
+    resolve_delete_positions,
+)
 from .edit_index import QGramEditSelector, qgrams
 from .euclidean_index import BallIndexEuclideanSelector
 from .hamming_index import (
@@ -14,6 +22,12 @@ from .linear_scan import LinearScanSelector
 
 __all__ = [
     "SimilaritySelector",
+    "CompactionPolicy",
+    "DeltaIndexMixin",
+    "GrowableArray",
+    "TombstoneView",
+    "check_delete_positions",
+    "resolve_delete_positions",
     "LinearScanSelector",
     "PackedHammingSelector",
     "PigeonholeHammingSelector",

@@ -10,9 +10,11 @@ Exact selection serves three purposes in the reproduction, mirroring the paper:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .delta import check_delete_positions, rebuild_in_place
 
 #: (named arrays, JSON-able metadata) describing a selector's dataset — the
 #: payload a :class:`~repro.store.SharedDataPlane` publishes so process-pool
@@ -25,6 +27,7 @@ class SimilaritySelector(ABC):
 
     def __init__(self, dataset: Sequence) -> None:
         self._dataset = list(dataset)
+        self._mutations = 0
 
     def __len__(self) -> int:
         return len(self._dataset)
@@ -32,6 +35,53 @@ class SimilaritySelector(ABC):
     @property
     def dataset(self) -> List:
         return self._dataset
+
+    # ------------------------------------------------------------------ #
+    # Update protocol (O(Δ) in delta-maintained subclasses)
+    # ------------------------------------------------------------------ #
+    @property
+    def mutation_count(self) -> int:
+        """Count of logical mutations applied through the update protocol."""
+        return self._mutations
+
+    def insert_many(self, records: Sequence) -> int:
+        """Append records in place; returns the number inserted.
+
+        Generic fallback for selectors without delta support: wholesale
+        rebuild over the extended dataset, kept in place so every reference
+        to this selector stays valid.  Delta-maintained selectors
+        (:class:`~repro.selection.delta.DeltaIndexMixin`) override this with
+        O(Δ) append-segment maintenance.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        rebuild_in_place(self, list(self.dataset) + records)
+        self._mutations += 1
+        return len(records)
+
+    def delete_many(self, positions: Iterable[int]) -> int:
+        """Delete the records at these live positions in place; returns the count.
+
+        Strict: out-of-range positions raise ``IndexError``, duplicates raise
+        ``ValueError``, an empty request is a no-op.
+        """
+        positions = check_delete_positions(len(self), positions)
+        if positions.size == 0:
+            return 0
+        dataset = list(self.dataset)
+        for position in positions[::-1]:
+            del dataset[int(position)]
+        rebuild_in_place(self, dataset)
+        self._mutations += 1
+        return int(positions.size)
+
+    def needs_compaction(self) -> bool:
+        return False
+
+    def compact(self) -> int:
+        """Reclaim tombstoned rows; returns rows reclaimed (0 without deltas)."""
+        return 0
 
     @abstractmethod
     def query(self, record: Any, threshold: float) -> List[int]:

@@ -20,6 +20,10 @@ Filters used (all are necessary conditions for ``ed(x, y) <= θ``):
   another.
 * count filter on positional-free q-grams: two strings within edit distance θ
   share at least ``max(|x|, |y|) - q + 1 - q·θ`` q-grams.
+
+Updates are O(Δ): inserts append gram counters, lengths, signature rows, and
+bucket entries for the new rows only; deletes tombstone rows that the
+candidate filters mask out (see :mod:`repro.selection.delta`).
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ import numpy as np
 
 from ..distances.edit import batch_levenshtein
 from .base import SimilaritySelector
+from .delta import DeltaIndexMixin, GrowableArray
 
 
 def qgrams(text: str, q: int) -> Counter:
@@ -49,8 +54,10 @@ def qgram_signature(grams: Counter) -> int:
     return signature
 
 
-class QGramEditSelector(SimilaritySelector):
+class QGramEditSelector(DeltaIndexMixin, SimilaritySelector):
     """Inverted q-gram index + length/signature filters + banded verification."""
+
+    _SNAPSHOT_DROP = ("_signatures",)
 
     def __init__(self, dataset: Sequence[str], q: int = 2) -> None:
         super().__init__([str(record) for record in dataset])
@@ -59,18 +66,21 @@ class QGramEditSelector(SimilaritySelector):
         self.q = q
         self._grams: List[Counter] = [qgrams(record, q) for record in self._dataset]
         self._lengths: List[int] = [len(record) for record in self._dataset]
-        self._signatures = np.array(
-            [qgram_signature(grams) for grams in self._grams], dtype=np.uint64
+        self._signatures = GrowableArray(
+            np.array([qgram_signature(grams) for grams in self._grams], dtype=np.uint64)
         )
-        # Inverted index: q-gram -> record ids containing it.
-        self._inverted: Dict[str, List[int]] = defaultdict(list)
+        # Inverted index: q-gram -> physical row ids containing it.
+        inverted: Dict[str, List[int]] = defaultdict(list)
         for record_id, grams in enumerate(self._grams):
             for gram in grams:
-                self._inverted[gram].append(record_id)
-        # Group record ids by length for the length filter.
-        self._by_length: Dict[int, List[int]] = defaultdict(list)
+                inverted[gram].append(record_id)
+        self._inverted: Dict[str, List[int]] = dict(inverted)
+        # Group physical row ids by length for the length filter.
+        by_length: Dict[int, List[int]] = defaultdict(list)
         for record_id, length in enumerate(self._lengths):
-            self._by_length[length].append(record_id)
+            by_length[length].append(record_id)
+        self._by_length: Dict[int, List[int]] = dict(by_length)
+        self._init_delta()
 
     def _length_candidates(self, query_length: int, threshold: int) -> List[int]:
         candidates: List[int] = []
@@ -81,12 +91,17 @@ class QGramEditSelector(SimilaritySelector):
     def _signature_survivors(
         self, query_signature: int, candidates: List[int], threshold: int
     ) -> List[int]:
-        """Drop candidates whose signature certifies > q·θ absent query grams."""
+        """Drop candidates whose signature certifies > q·θ absent query grams
+        (and, in the same vectorized pass, any tombstoned rows)."""
         if not candidates:
             return candidates
         ids = np.asarray(candidates, dtype=np.int64)
+        if not self._view.is_compact:
+            ids = ids[self._view.alive_rows[ids]]
+            if ids.size == 0:
+                return []
         missing = np.bitwise_count(
-            np.uint64(query_signature) & ~self._signatures[ids]
+            np.uint64(query_signature) & ~self._signatures.view()[ids]
         )
         return [int(i) for i in ids[missing <= self.q * threshold]]
 
@@ -122,9 +137,12 @@ class QGramEditSelector(SimilaritySelector):
         # Batched verification: one vectorized DP over every surviving candidate
         # instead of one banded scalar verification per candidate.
         distances = batch_levenshtein(
-            record, [self._dataset[record_id] for record_id in survivors], threshold_int
+            record, [self._phys_records[record_id] for record_id in survivors], threshold_int
         )
-        return [record_id for record_id, d in zip(survivors, distances) if d <= threshold_int]
+        matches = [record_id for record_id, d in zip(survivors, distances) if d <= threshold_int]
+        if self._view.is_compact:
+            return matches
+        return [int(i) for i in self._view.to_logical(np.asarray(matches, dtype=np.int64))]
 
     def cardinality_curve(self, record: str, thresholds) -> np.ndarray:
         """Matches at the widest threshold, then exact distances answer the rest."""
@@ -135,7 +153,10 @@ class QGramEditSelector(SimilaritySelector):
         matches = self.query(str(record), widest)
         if not matches:
             return np.zeros(thresholds.size, dtype=np.int64)
-        distances = batch_levenshtein(str(record), [self._dataset[i] for i in matches])
+        physical = self._view.live_physical[np.asarray(matches, dtype=np.int64)]
+        distances = batch_levenshtein(
+            str(record), [self._phys_records[int(i)] for i in physical]
+        )
         return np.count_nonzero(
             distances[None, :] <= thresholds.astype(np.int64)[:, None], axis=1
         ).astype(np.int64)
@@ -144,11 +165,34 @@ class QGramEditSelector(SimilaritySelector):
         return QGramEditSelector(dataset, q=self.q)
 
     # ------------------------------------------------------------------ #
-    # Shared-data-plane protocol + snapshot hooks
+    # Delta maintenance hooks
+    # ------------------------------------------------------------------ #
+    def _normalize_record(self, record) -> str:
+        return str(record)
+
+    def _delta_insert(self, records: List, physical_ids: np.ndarray) -> None:
+        signatures = np.zeros(len(records), dtype=np.uint64)
+        for row, (record, physical_id) in enumerate(zip(records, physical_ids)):
+            grams = qgrams(record, self.q)
+            self._grams.append(grams)
+            self._lengths.append(len(record))
+            signatures[row] = qgram_signature(grams)
+            for gram in grams:
+                self._inverted.setdefault(gram, []).append(int(physical_id))
+            self._by_length.setdefault(len(record), []).append(int(physical_id))
+        self._signatures.append(signatures)
+
+    def _restore_derived(self) -> None:
+        self._signatures = GrowableArray(
+            np.array([qgram_signature(grams) for grams in self._grams], dtype=np.uint64)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared-data-plane protocol
     # ------------------------------------------------------------------ #
     def export_arrays(self):
         """Strings as one UTF-8 byte blob + offsets; workers rebuild the index."""
-        encoded = [record.encode("utf-8") for record in self._dataset]
+        encoded = [record.encode("utf-8") for record in self.dataset]
         offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
         np.cumsum([len(blob) for blob in encoded], out=offsets[1:])
         blob = np.frombuffer(b"".join(encoded), dtype=np.uint8) if encoded else np.zeros(
@@ -166,16 +210,3 @@ class QGramEditSelector(SimilaritySelector):
             for i in range(offsets.size - 1)
         ]
         return cls(records, q=int(meta["q"]))
-
-    # The signature column is derived from the q-gram index — dropped at save
-    # (keeps snapshots at format v2) and recomputed on restore.
-    def __snapshot_state__(self):
-        state = dict(self.__dict__)
-        state.pop("_signatures", None)
-        return state
-
-    def __snapshot_restore__(self, state) -> None:
-        self.__dict__.update(state)
-        self._signatures = np.array(
-            [qgram_signature(grams) for grams in self._grams], dtype=np.uint64
-        )

@@ -6,6 +6,12 @@ approximation of a one-level cover tree): at query time the triangle
 inequality prunes whole balls whose pivot is farther than
 ``threshold + ball_radius`` from the query, and the survivors are verified
 with vectorized distance computations.
+
+Under updates the pivots are frozen: inserted rows join the ball of their
+nearest existing pivot (growing its radius as needed) and deletes tombstone
+rows without shrinking radii — a conservative prune bound, never a wrong one,
+since every surviving candidate is verified exactly.  Compaction re-picks
+pivots from scratch.
 """
 
 from __future__ import annotations
@@ -15,9 +21,10 @@ from typing import List, Sequence
 import numpy as np
 
 from .base import SimilaritySelector
+from .delta import DeltaIndexMixin, GrowableArray
 
 
-class BallIndexEuclideanSelector(SimilaritySelector):
+class BallIndexEuclideanSelector(DeltaIndexMixin, SimilaritySelector):
     """Pivot/ball partition index with triangle-inequality pruning."""
 
     def __init__(self, dataset: Sequence, num_pivots: int = 16, seed: int = 0) -> None:
@@ -25,7 +32,7 @@ class BallIndexEuclideanSelector(SimilaritySelector):
         if matrix.ndim != 2:
             matrix = np.stack([np.asarray(record, dtype=np.float64) for record in dataset])
         super().__init__(list(matrix))
-        self._matrix = matrix
+        self._matrix = GrowableArray(matrix)
         rng = np.random.default_rng(seed)
         num_records = len(matrix)
         num_pivots = min(num_pivots, max(1, num_records))
@@ -36,37 +43,46 @@ class BallIndexEuclideanSelector(SimilaritySelector):
             distances = np.linalg.norm(
                 matrix[:, None, :] - self._pivots[None, :, :], axis=2
             )
-            self._assignments = distances.argmin(axis=1)
+            assignments = distances.argmin(axis=1)
             self._radii = np.zeros(num_pivots)
-            self._members: List[np.ndarray] = []
+            self._members: List[GrowableArray] = []
             for pivot_id in range(num_pivots):
-                member_ids = np.nonzero(self._assignments == pivot_id)[0]
-                self._members.append(member_ids)
+                member_ids = np.nonzero(assignments == pivot_id)[0].astype(np.int64)
+                self._members.append(GrowableArray(member_ids))
                 if member_ids.size:
                     self._radii[pivot_id] = distances[member_ids, pivot_id].max()
         else:
             self._pivots = np.zeros((0, matrix.shape[1] if matrix.ndim == 2 else 0))
             self._members = []
             self._radii = np.zeros(0)
+        self._init_delta()
 
     def query(self, record, threshold: float) -> List[int]:
-        if len(self._dataset) == 0:
+        if len(self) == 0:
             return []
         query = np.asarray(record, dtype=np.float64)
         pivot_distances = np.linalg.norm(self._pivots - query[None, :], axis=1)
+        view = self._view
+        rows = self._matrix.view()
         matches: List[int] = []
         for pivot_id, pivot_distance in enumerate(pivot_distances):
-            member_ids = self._members[pivot_id]
+            member_ids = self._members[pivot_id].view()
             if member_ids.size == 0:
                 continue
             # Prune: every member is within radii[pivot] of the pivot, so the
             # closest any member can be to the query is pivot_distance - radius.
             if pivot_distance - self._radii[pivot_id] > threshold + 1e-12:
                 continue
-            block = self._matrix[member_ids]
+            if not view.is_compact:
+                member_ids = member_ids[view.alive_rows[member_ids]]
+                if member_ids.size == 0:
+                    continue
+            block = rows[member_ids]
             deltas = block - query[None, :]
             distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
             matches.extend(int(i) for i in member_ids[distances <= threshold + 1e-12])
+        if not view.is_compact:
+            matches = [int(i) for i in view.to_logical(np.asarray(matches, dtype=np.int64))]
         return sorted(matches)
 
     def _match_distances(self, record, threshold: float) -> np.ndarray:
@@ -74,21 +90,47 @@ class BallIndexEuclideanSelector(SimilaritySelector):
         matches = self.query(record, threshold)
         if not matches:
             return np.zeros(0)
-        block = self._matrix[np.asarray(matches, dtype=np.int64)]
+        physical = self._view.live_physical[np.asarray(matches, dtype=np.int64)]
+        block = self._matrix.view()[physical]
         deltas = block - np.asarray(record, dtype=np.float64)[None, :]
         return np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
 
     def rebuild(self, dataset: Sequence) -> "BallIndexEuclideanSelector":
         return BallIndexEuclideanSelector(dataset, num_pivots=len(self._pivots) or 16)
 
+    # ------------------------------------------------------------------ #
+    # Delta maintenance hooks
+    # ------------------------------------------------------------------ #
+    def _normalize_record(self, record) -> np.ndarray:
+        return np.asarray(record, dtype=np.float64)
+
+    def _delta_insert(self, records: List, physical_ids: np.ndarray) -> None:
+        block = np.stack(records)
+        if block.shape[1] != self._pivots.shape[1]:
+            raise ValueError(
+                f"inserted records have {block.shape[1]} dimensions, "
+                f"index has {self._pivots.shape[1]}"
+            )
+        self._matrix.append(block)
+        distances = np.linalg.norm(block[:, None, :] - self._pivots[None, :, :], axis=2)
+        nearest = distances.argmin(axis=1)
+        for pivot_id in np.unique(nearest):
+            in_ball = nearest == pivot_id
+            self._members[int(pivot_id)].append(physical_ids[in_ball])
+            self._radii[int(pivot_id)] = max(
+                self._radii[int(pivot_id)], float(distances[in_ball, pivot_id].max())
+            )
+
     def export_arrays(self):
-        """Publish the float64 matrix; workers rebuild the ball partition.
+        """Publish the float64 matrix (live rows); workers rebuild the ball partition.
 
         Pivot choice is seeded in the worker rebuild, but any pivot set gives
         exact (hence identical) query answers — pruning is a necessary
         condition, never the final filter.
         """
-        return {"matrix": self._matrix}, {"num_pivots": len(self._pivots) or 16}
+        return {"matrix": self._live_rows(self._matrix.view())}, {
+            "num_pivots": len(self._pivots) or 16
+        }
 
     @classmethod
     def from_arrays(cls, arrays, meta) -> "BallIndexEuclideanSelector":

@@ -12,6 +12,11 @@ Two selectors are provided:
   allocated to that part (general pigeonhole principle).  Candidate sets are
   retrieved from per-part inverted indexes keyed by the part's bit pattern
   enumerated within the allocated radius, then verified exactly.
+
+Both maintain their indexes under updates in O(Δ): inserts append packed rows
+to capacity-doubling stores (and, for GPH, physical ids to the part buckets);
+deletes tombstone rows that query paths mask out (see
+:mod:`repro.selection.delta`).
 """
 
 from __future__ import annotations
@@ -29,27 +34,33 @@ from ..distances.hamming import (
     unpack_bits,
 )
 from .base import PlaneExport, SimilaritySelector
+from .delta import DeltaIndexMixin, GrowableArray
 
 
-class PackedHammingSelector(SimilaritySelector):
+class PackedHammingSelector(DeltaIndexMixin, SimilaritySelector):
     """Vectorized exact scan over bit-packed binary vectors."""
+
+    _SNAPSHOT_DROP = ("_packed64",)
 
     def __init__(self, dataset: Sequence) -> None:
         super().__init__([np.asarray(record, dtype=np.uint8) for record in dataset])
         matrix = np.stack(self._dataset) if self._dataset else np.zeros((0, 1), dtype=np.uint8)
         self._dimension = matrix.shape[1] if matrix.size else 0
-        self._packed = pack_bits(matrix) if matrix.size else np.zeros((0, 1), dtype=np.uint8)
+        self._packed = GrowableArray(
+            pack_bits(matrix) if matrix.size else np.zeros((0, 1), dtype=np.uint8)
+        )
         # uint64 word view cached once: every query scans words, not bytes.
-        self._packed64 = pack_bits_words(self._packed)
+        self._packed64 = GrowableArray(pack_bits_words(self._packed.view()))
+        self._init_delta()
 
     def query(self, record, threshold: float) -> List[int]:
-        if len(self._dataset) == 0:
+        if len(self) == 0:
             return []
         distances = self.distances(record)
         return [int(i) for i in np.nonzero(distances <= int(threshold))[0]]
 
     def cardinality(self, record, threshold: float) -> int:
-        if len(self._dataset) == 0:
+        if len(self) == 0:
             return 0
         distances = self.distances(record)
         return int(np.count_nonzero(distances <= int(threshold)))
@@ -57,13 +68,33 @@ class PackedHammingSelector(SimilaritySelector):
     def distances(self, record) -> np.ndarray:
         """All Hamming distances from ``record`` to the dataset (used by workloads)."""
         query_words = pack_bits_words(pack_bits(np.asarray(record, dtype=np.uint8)))[0]
-        return packed_hamming_distances_words(query_words, self._packed64)
+        distances = packed_hamming_distances_words(query_words, self._packed64.view())
+        return self._live_rows(distances)
+
+    # ------------------------------------------------------------------ #
+    # Delta maintenance hooks
+    # ------------------------------------------------------------------ #
+    def _normalize_record(self, record) -> np.ndarray:
+        return np.asarray(record, dtype=np.uint8)
+
+    def _delta_insert(self, records: List, physical_ids: np.ndarray) -> None:
+        matrix = np.stack(records)
+        if matrix.shape[1] != self._dimension:
+            raise ValueError(
+                f"inserted records have {matrix.shape[1]} dimensions, index has {self._dimension}"
+            )
+        packed = pack_bits(matrix)
+        self._packed.append(packed)
+        self._packed64.append(pack_bits_words(packed))
+
+    def _restore_derived(self) -> None:
+        self._packed64 = GrowableArray(pack_bits_words(self._packed.view()))
 
     def export_arrays(self) -> PlaneExport:
-        """Publish the packed matrix; workers rebuild from unpacked rows."""
-        return {"packed": self._packed}, {
+        """Publish the packed matrix (live rows); workers rebuild from unpacked rows."""
+        return {"packed": self._live_rows(self._packed.view())}, {
             "dimension": int(self._dimension),
-            "count": len(self._dataset),
+            "count": len(self),
         }
 
     @classmethod
@@ -74,22 +105,10 @@ class PackedHammingSelector(SimilaritySelector):
             return cls([])
         return cls(unpack_bits(np.asarray(arrays["packed"]), int(meta["dimension"])))
 
-    # Snapshot hooks: the uint64 word cache is derived from the packed matrix
-    # — dropped at save (keeps snapshots at format v2) and recomputed on
-    # restore.
-    def __snapshot_state__(self) -> Dict[str, Any]:
-        state = dict(self.__dict__)
-        state.pop("_packed64", None)
-        return state
-
-    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
-        self.__dict__.update(state)
-        self._packed64 = pack_bits_words(self._packed)
-
     def cardinality_curve(self, record, thresholds) -> np.ndarray:
         """One packed XOR+popcount scan answers every threshold."""
         thresholds = np.asarray(thresholds, dtype=np.float64)
-        if thresholds.size == 0 or len(self._dataset) == 0:
+        if thresholds.size == 0 or len(self) == 0:
             return np.zeros(thresholds.size, dtype=np.int64)
         distances = self.distances(record)
         return np.count_nonzero(
@@ -129,27 +148,33 @@ def enumerate_within_radius(bits: np.ndarray, radius: int) -> List[bytes]:
     return keys
 
 
-class PigeonholeHammingSelector(SimilaritySelector):
+class PigeonholeHammingSelector(DeltaIndexMixin, SimilaritySelector):
     """GPH-style exact selection: per-part inverted indexes + pigeonhole allocation."""
+
+    _SNAPSHOT_DROP = ("_packed64",)
 
     def __init__(self, dataset: Sequence, part_size: int = 16) -> None:
         super().__init__([np.asarray(record, dtype=np.uint8) for record in dataset])
         if self._dataset:
-            self._matrix = np.stack(self._dataset)
+            matrix = np.stack(self._dataset)
         else:
-            self._matrix = np.zeros((0, 1), dtype=np.uint8)
-        self._dimension = self._matrix.shape[1] if self._matrix.size else 0
+            matrix = np.zeros((0, 1), dtype=np.uint8)
+        self._dimension = matrix.shape[1] if matrix.size else 0
         self.parts = split_dimensions(self._dimension, part_size)
-        self._packed = pack_bits(self._matrix) if self._matrix.size else np.zeros((0, 1), dtype=np.uint8)
-        self._packed64 = pack_bits_words(self._packed)
-        # One inverted index per part: bit pattern (bytes) -> list of record ids.
+        self._matrix = GrowableArray(matrix)
+        self._packed = GrowableArray(
+            pack_bits(matrix) if matrix.size else np.zeros((0, 1), dtype=np.uint8)
+        )
+        self._packed64 = GrowableArray(pack_bits_words(self._packed.view()))
+        # One inverted index per part: bit pattern (bytes) -> physical row ids.
         self._part_indexes: List[Dict[bytes, List[int]]] = []
         for start, stop in self.parts:
             index: Dict[bytes, List[int]] = defaultdict(list)
-            for record_id in range(len(self._matrix)):
-                key = self._matrix[record_id, start:stop].tobytes()
+            for record_id in range(len(matrix)):
+                key = matrix[record_id, start:stop].tobytes()
                 index[key].append(record_id)
             self._part_indexes.append(dict(index))
+        self._init_delta()
 
     # ------------------------------------------------------------------ #
     # Threshold allocation
@@ -175,7 +200,10 @@ class PigeonholeHammingSelector(SimilaritySelector):
         return allocation
 
     def candidates(self, record: np.ndarray, allocation: Sequence[int]) -> np.ndarray:
-        """Union of per-part candidate sets under the given threshold allocation."""
+        """Union of per-part candidate sets under the given threshold allocation.
+
+        Returned ids index the live dataset (tombstoned rows are masked out).
+        """
         record = np.asarray(record, dtype=np.uint8)
         candidate_ids: set[int] = set()
         for (start, stop), radius, index in zip(self.parts, allocation, self._part_indexes):
@@ -184,7 +212,11 @@ class PigeonholeHammingSelector(SimilaritySelector):
                 bucket = index.get(key)
                 if bucket:
                     candidate_ids.update(bucket)
-        return np.fromiter(candidate_ids, dtype=np.int64, count=len(candidate_ids))
+        physical = np.fromiter(candidate_ids, dtype=np.int64, count=len(candidate_ids))
+        if self._view.is_compact:
+            return physical
+        physical = physical[self._view.alive_rows[physical]]
+        return self._view.to_logical(physical)
 
     # ------------------------------------------------------------------ #
     # Query answering
@@ -211,7 +243,7 @@ class PigeonholeHammingSelector(SimilaritySelector):
         instead of :meth:`query` to avoid enumerating candidates twice.
         """
         threshold_int = int(threshold)
-        if len(self._dataset) == 0:
+        if len(self) == 0:
             return [], 0
         if allocation is None:
             allocation = self.uniform_allocation(threshold_int)
@@ -219,9 +251,14 @@ class PigeonholeHammingSelector(SimilaritySelector):
         candidate_ids = self.candidates(record, allocation)
         if candidate_ids.size == 0:
             return [], 0
+        physical_ids = (
+            candidate_ids
+            if self._view.is_compact
+            else self._view.live_physical[candidate_ids]
+        )
         query_words = pack_bits_words(pack_bits(record))[0]
         distances = packed_hamming_distances_words(
-            query_words, self._packed64[candidate_ids]
+            query_words, self._packed64.view()[physical_ids]
         )
         matches = candidate_ids[distances <= threshold_int]
         return sorted(int(i) for i in matches), int(candidate_ids.size)
@@ -229,10 +266,12 @@ class PigeonholeHammingSelector(SimilaritySelector):
     def cardinality_curve(self, record, thresholds) -> np.ndarray:
         """One packed XOR+popcount scan answers every threshold."""
         thresholds = np.asarray(thresholds, dtype=np.float64)
-        if thresholds.size == 0 or len(self._dataset) == 0:
+        if thresholds.size == 0 or len(self) == 0:
             return np.zeros(thresholds.size, dtype=np.int64)
         query_words = pack_bits_words(pack_bits(np.asarray(record, dtype=np.uint8)))[0]
-        distances = packed_hamming_distances_words(query_words, self._packed64)
+        distances = self._live_rows(
+            packed_hamming_distances_words(query_words, self._packed64.view())
+        )
         return np.count_nonzero(
             distances[None, :] <= thresholds.astype(np.int64)[:, None], axis=1
         ).astype(np.int64)
@@ -245,11 +284,35 @@ class PigeonholeHammingSelector(SimilaritySelector):
         part_size = self.parts[0][1] - self.parts[0][0] if self.parts else 16
         return PigeonholeHammingSelector(dataset, part_size=part_size)
 
+    # ------------------------------------------------------------------ #
+    # Delta maintenance hooks
+    # ------------------------------------------------------------------ #
+    def _normalize_record(self, record) -> np.ndarray:
+        return np.asarray(record, dtype=np.uint8)
+
+    def _delta_insert(self, records: List, physical_ids: np.ndarray) -> None:
+        matrix = np.stack(records)
+        if matrix.shape[1] != self._dimension:
+            raise ValueError(
+                f"inserted records have {matrix.shape[1]} dimensions, index has {self._dimension}"
+            )
+        self._matrix.append(matrix)
+        packed = pack_bits(matrix)
+        self._packed.append(packed)
+        self._packed64.append(pack_bits_words(packed))
+        for row, physical_id in enumerate(physical_ids):
+            for (start, stop), index in zip(self.parts, self._part_indexes):
+                key = matrix[row, start:stop].tobytes()
+                index.setdefault(key, []).append(int(physical_id))
+
+    def _restore_derived(self) -> None:
+        self._packed64 = GrowableArray(pack_bits_words(self._packed.view()))
+
     def export_arrays(self) -> PlaneExport:
-        """Publish the raw 0/1 matrix; workers rebuild the part indexes."""
-        return {"matrix": self._matrix}, {
+        """Publish the raw 0/1 matrix (live rows); workers rebuild the part indexes."""
+        return {"matrix": self._live_rows(self._matrix.view())}, {
             "part_size": self.parts[0][1] - self.parts[0][0] if self.parts else 16,
-            "count": len(self._dataset),
+            "count": len(self),
         }
 
     @classmethod
@@ -258,12 +321,3 @@ class PigeonholeHammingSelector(SimilaritySelector):
     ) -> "PigeonholeHammingSelector":
         records = list(np.asarray(arrays["matrix"])) if int(meta["count"]) else []
         return cls(records, part_size=int(meta["part_size"]))
-
-    def __snapshot_state__(self) -> Dict[str, Any]:
-        state = dict(self.__dict__)
-        state.pop("_packed64", None)
-        return state
-
-    def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
-        self.__dict__.update(state)
-        self._packed64 = pack_bits_words(self._packed)

@@ -8,21 +8,29 @@ For a Jaccard distance threshold ``θ`` (similarity threshold ``s = 1 - θ``):
   ``|x| - ceil(s · |x|) + 1`` elements of x (its *prefix*).
 
 Candidates surviving both filters are verified with the exact similarity.
+
+Under updates the global element order is frozen at build time (unknown
+elements fall back to the ``(0, element)`` key, exactly as unknown *query*
+elements always have): the prefix filter only needs *some* consistent total
+order to stay a necessary condition, and every candidate is verified exactly,
+so a stale frequency order can cost selectivity but never correctness.
+Compaction re-derives frequencies from the live records.
 """
 
 from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..distances.jaccard import as_frozenset, jaccard_similarity
 from .base import SimilaritySelector
+from .delta import DeltaIndexMixin
 
 
-class PrefixFilterJaccardSelector(SimilaritySelector):
+class PrefixFilterJaccardSelector(DeltaIndexMixin, SimilaritySelector):
     """Prefix-filter inverted index for Jaccard similarity selection."""
 
     def __init__(self, dataset: Sequence) -> None:
@@ -41,12 +49,14 @@ class PrefixFilterJaccardSelector(SimilaritySelector):
             sorted(record, key=lambda el: self._order.get(el, (0, el))) for record in records
         ]
         self._sizes = [len(record) for record in records]
-        # Inverted index over *all* elements; prefix filtering happens at query
-        # time so a single index supports every threshold.
-        self._inverted: Dict[int, List[int]] = defaultdict(list)
+        # Inverted index over *all* elements (physical row ids); prefix
+        # filtering happens at query time so one index supports every threshold.
+        inverted: Dict[int, List[int]] = defaultdict(list)
         for record_id, sorted_record in enumerate(self._sorted_records):
             for element in sorted_record:
-                self._inverted[element].append(record_id)
+                inverted[element].append(record_id)
+        self._inverted: Dict[int, List[int]] = dict(inverted)
+        self._init_delta()
 
     def _element_key(self, element: int) -> Tuple[int, int]:
         return self._order.get(element, (0, element))
@@ -55,12 +65,17 @@ class PrefixFilterJaccardSelector(SimilaritySelector):
         query_set = as_frozenset(record)
         similarity_threshold = 1.0 - float(threshold)
         if similarity_threshold <= 0.0:
-            return list(range(len(self._dataset)))
+            return list(range(len(self)))
         query_sorted = sorted(query_set, key=self._element_key)
         query_size = len(query_sorted)
+        view = self._view
         if query_size == 0:
             # Empty query matches exactly the empty sets (similarity convention 1.0).
-            return [i for i, size in enumerate(self._sizes) if size == 0]
+            return [
+                logical
+                for logical, physical in enumerate(view.live_physical)
+                if self._sizes[int(physical)] == 0
+            ]
 
         prefix_length = query_size - math.ceil(similarity_threshold * query_size) + 1
         prefix_length = max(1, min(prefix_length, query_size))
@@ -68,24 +83,33 @@ class PrefixFilterJaccardSelector(SimilaritySelector):
         for element in query_sorted[:prefix_length]:
             candidate_ids.update(self._inverted.get(element, ()))
 
+        alive = view.alive_rows
         min_size = similarity_threshold * query_size
         max_size = query_size / similarity_threshold
         matches: List[int] = []
         for record_id in candidate_ids:
+            if not alive[record_id]:
+                continue
             size = self._sizes[record_id]
             if size < min_size - 1e-9 or size > max_size + 1e-9:
                 continue
-            if jaccard_similarity(query_set, self._dataset[record_id]) >= similarity_threshold - 1e-12:
+            if (
+                jaccard_similarity(query_set, self._phys_records[record_id])
+                >= similarity_threshold - 1e-12
+            ):
                 matches.append(record_id)
-        return sorted(matches)
+        if view.is_compact:
+            return sorted(matches)
+        return sorted(int(i) for i in view.to_logical(np.asarray(matches, dtype=np.int64)))
 
     def _match_distances(self, record, threshold: float) -> np.ndarray:
         """Jaccard distances of the matches at ``threshold`` (for curve batching)."""
         query_set = as_frozenset(record)
+        physical = self._view.live_physical
         return np.asarray(
             [
-                1.0 - jaccard_similarity(query_set, self._dataset[record_id])
-                for record_id in self.query(record, threshold)
+                1.0 - jaccard_similarity(query_set, self._phys_records[int(physical[i])])
+                for i in self.query(record, threshold)
             ],
             dtype=np.float64,
         )
@@ -93,18 +117,33 @@ class PrefixFilterJaccardSelector(SimilaritySelector):
     def rebuild(self, dataset: Sequence) -> "PrefixFilterJaccardSelector":
         return PrefixFilterJaccardSelector(dataset)
 
+    # ------------------------------------------------------------------ #
+    # Delta maintenance hooks
+    # ------------------------------------------------------------------ #
+    def _normalize_record(self, record):
+        return as_frozenset(record)
+
+    def _delta_insert(self, records: List, physical_ids: np.ndarray) -> None:
+        for record, physical_id in zip(records, physical_ids):
+            sorted_record = sorted(record, key=self._element_key)
+            self._sorted_records.append(sorted_record)
+            self._sizes.append(len(record))
+            for element in sorted_record:
+                self._inverted.setdefault(element, []).append(int(physical_id))
+
     def export_arrays(self):
         """Sets as one sorted-token int64 column + offsets; workers rebuild.
 
         Token order inside a record does not matter (records are sets), so
         the rebuild is bit-identical by construction.
         """
+        records = self.dataset
         if not all(
             all(isinstance(token, (int, np.integer)) for token in record)
-            for record in self._dataset
+            for record in records
         ):
             return None  # non-integer tokens: no array form, thread fallback
-        sorted_records = [sorted(record) for record in self._dataset]
+        sorted_records = [sorted(record) for record in records]
         offsets = np.zeros(len(sorted_records) + 1, dtype=np.int64)
         np.cumsum([len(tokens) for tokens in sorted_records], out=offsets[1:])
         tokens = (

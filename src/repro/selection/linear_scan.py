@@ -8,22 +8,29 @@ import numpy as np
 
 from ..distances.base import DistanceFunction
 from .base import SimilaritySelector
+from .delta import DeltaIndexMixin
 
 
-class LinearScanSelector(SimilaritySelector):
-    """Evaluate the distance to every record; correct for any distance function."""
+class LinearScanSelector(DeltaIndexMixin, SimilaritySelector):
+    """Evaluate the distance to every record; correct for any distance function.
+
+    Delta maintenance rides the shared mixin with no-op index hooks: the scan
+    has no index to maintain, so queries simply run over the lazily-refreshed
+    live dataset — every query is O(n) in distance evaluations regardless.
+    """
 
     def __init__(self, dataset: Sequence, distance: DistanceFunction) -> None:
         super().__init__(dataset)
         self.distance = distance
+        self._init_delta()
 
     def query(self, record: Any, threshold: float) -> List[int]:
-        distances = self.distance.distances_to(record, self._dataset)
+        distances = self.distance.distances_to(record, self.dataset)
         matches = np.nonzero(distances <= threshold + 1e-12)[0]
         return [int(i) for i in matches]
 
     def cardinality(self, record: Any, threshold: float) -> int:
-        distances = self.distance.distances_to(record, self._dataset)
+        distances = self.distance.distances_to(record, self.dataset)
         return int(np.count_nonzero(distances <= threshold + 1e-12))
 
     def cardinality_curve(self, record: Any, thresholds) -> np.ndarray:
@@ -31,7 +38,7 @@ class LinearScanSelector(SimilaritySelector):
         thresholds = np.asarray(thresholds, dtype=np.float64)
         if thresholds.size == 0:
             return np.zeros(0, dtype=np.int64)
-        distances = self.distance.distances_to(record, self._dataset)
+        distances = self.distance.distances_to(record, self.dataset)
         return np.count_nonzero(
             distances[None, :] <= thresholds[:, None] + 1e-12, axis=1
         ).astype(np.int64)

@@ -10,7 +10,11 @@ shard cleanly:
   (``name#shardK``) plus a merged endpoint whose curves are the sums of the
   per-shard cached curves;
 * updates route per shard (:meth:`ShardedSelector.route_operation`), so an
-  insert or delete relabels/retrains only the shard it touched.
+  insert or delete relabels/retrains only the shard it touched;
+* :class:`Rebalancer` executes :class:`RebalancePlan` s (split hot shards,
+  merge cold ones, migrate id ranges) from snapshot slices on background
+  pools while the old layout serves, committing with an atomic swap after
+  replaying mid-rebalance updates from the journal.
 """
 
 from .group import MergedShardEstimator, ShardedEstimatorGroup, resolve_curve_grid
@@ -21,7 +25,16 @@ from .partitioner import (
     ShardAssignment,
     get_partitioner,
 )
-from .selector import ShardedSelector, ShardRouting
+from .rebalance import (
+    MergeShards,
+    MigrateRange,
+    RebalancePlan,
+    RebalanceReport,
+    Rebalancer,
+    SplitShard,
+    suggest_plan,
+)
+from .selector import ShardedSelector, ShardLayoutSnapshot, ShardRouting
 
 __all__ = [
     "Partitioner",
@@ -30,8 +43,16 @@ __all__ = [
     "ShardAssignment",
     "get_partitioner",
     "ShardedSelector",
+    "ShardLayoutSnapshot",
     "ShardRouting",
     "ShardedEstimatorGroup",
     "MergedShardEstimator",
     "resolve_curve_grid",
+    "RebalancePlan",
+    "RebalanceReport",
+    "Rebalancer",
+    "SplitShard",
+    "MergeShards",
+    "MigrateRange",
+    "suggest_plan",
 ]

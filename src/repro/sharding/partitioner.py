@@ -60,6 +60,37 @@ class ShardAssignment:
             global_ids=global_ids,
         )
 
+    def with_inserts(self, new_shard_of: np.ndarray) -> "ShardAssignment":
+        """O(Δ) extension: Δ appended records join their shards at the tail.
+
+        The new global ids are ``len(self) .. len(self)+Δ-1`` — larger than
+        every existing id — so giving each appended record the next local id
+        in its shard preserves the "local ids follow global order" invariant
+        without touching any existing directory entry.
+        """
+        new_shard_of = np.asarray(new_shard_of, dtype=np.int64)
+        if new_shard_of.size == 0:
+            return self
+        if new_shard_of.min() < 0 or new_shard_of.max() >= self.num_shards:
+            raise ValueError(f"shard ids must lie in [0, {self.num_shards})")
+        start = len(self.shard_of)
+        sizes = np.asarray(self.shard_sizes(), dtype=np.int64)
+        new_local = np.empty(len(new_shard_of), dtype=np.int64)
+        global_ids = list(self.global_ids)
+        for shard in np.unique(new_shard_of):
+            mask = new_shard_of == shard
+            count = int(mask.sum())
+            new_local[mask] = np.arange(sizes[shard], sizes[shard] + count)
+            global_ids[int(shard)] = np.concatenate(
+                [global_ids[int(shard)], start + np.flatnonzero(mask)]
+            )
+        return ShardAssignment(
+            num_shards=self.num_shards,
+            shard_of=np.concatenate([self.shard_of, new_shard_of]),
+            local_of=np.concatenate([self.local_of, new_local]),
+            global_ids=global_ids,
+        )
+
     def __len__(self) -> int:
         return len(self.shard_of)
 

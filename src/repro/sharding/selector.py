@@ -20,25 +20,34 @@ fan-out, as do platforms without ``fork``.
 
 Updates route the same way (§8 per shard, not globally): an insert/delete
 expressed against *global* record ids is translated into one local operation
-per touched shard (:meth:`ShardedSelector.route_operation`), so only the
-touched shards rebuild their index — and only their estimators need to
-relabel/retrain.  Shards nobody touched keep their index, labels, model, and
-served curves.
+per touched shard (:meth:`ShardedSelector.route_operation`) and committed as
+an O(Δ) in-place delta (:meth:`~repro.selection.SimilaritySelector.insert_many`
+/ :meth:`~repro.selection.SimilaritySelector.delete_many`) on exactly those
+shards — untouched shards keep their index, labels, model, served curves,
+*and published data plane*.  Only the touched shards' planes are re-exported.
+
+Live rebalancing rides the same machinery: :meth:`begin_rebalance` captures a
+consistent base layout and starts journaling updates, the new layout is built
+elsewhere (``repro.sharding.rebalance``) while the old one keeps serving, and
+:meth:`commit_rebalance` swaps the staged shards in atomically after
+replaying the journal — so the new layout answers exactly like the old one.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from ..datasets.updates import UpdateOperation, apply_operation
+from ..datasets.updates import UpdateOperation
 from ..obs.metrics import current_registry, metrics_enabled
 from ..obs.trace import span
 from ..runtime import POOL_BACKENDS, Runtime, default_runtime
 from ..selection.base import SimilaritySelector
+from ..selection.delta import resolve_delete_positions
 from ..store.plane import PlaneHandle, SharedDataPlane, cached_rebuild
 from .partitioner import Partitioner, ShardAssignment, get_partitioner
 
@@ -134,16 +143,33 @@ class ShardRouting:
     """
 
     operation: UpdateOperation
-    #: Touched shard → the operation expressed in that shard's local ids.
+    #: Touched shard → the operation expressed in that shard's local ids
+    #: (delete positions listed in descending local order).
     local_operations: Dict[int, UpdateOperation] = field(default_factory=dict)
     #: Shard id per global record id *after* the operation.
     new_shard_of: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
-    #: The full record list after the operation.
-    new_dataset: List = field(default_factory=list)
 
     @property
     def touched_shards(self) -> List[int]:
         return sorted(self.local_operations)
+
+
+@dataclass
+class ShardLayoutSnapshot:
+    """The consistent base a rebalance builds from (:meth:`begin_rebalance`).
+
+    ``versions`` pins each shard's :attr:`mutation_count` at capture time:
+    shards are mutated *in place* by concurrent updates, so at commit a shard
+    object may be aliased into the new layout only if its version is
+    unchanged — otherwise the target is rebuilt from ``records`` (a list
+    copy, immune to in-place shard mutation) and the journal replay restores
+    the updates.
+    """
+
+    records: List
+    assignment: ShardAssignment
+    shards: List[SimilaritySelector]
+    versions: List[int]
 
 
 class ShardedSelector(SimilaritySelector):
@@ -160,6 +186,7 @@ class ShardedSelector(SimilaritySelector):
         parallel: bool = True,
         runtime: Optional[Runtime] = None,
         backend: str = "thread",
+        auto_compact: bool = False,
     ) -> None:
         super().__init__(dataset)
         if backend not in POOL_BACKENDS:
@@ -195,13 +222,50 @@ class ShardedSelector(SimilaritySelector):
         #: Requested fan-out backend; the effective one degrades to threads
         #: per query when a shard cannot publish a plane (see _shard_planes).
         self.backend = backend
+        #: Schedule background compaction of touched shards after updates.
+        #: Off by default: background tasks in flight block ``engine.save``
+        #: until :meth:`join_maintenance` drains them.
+        self.auto_compact = bool(auto_compact)
+        #: Serializes layout changes (shards/assignment/planes/journal)
+        #: against query capture and background maintenance.  Shard *compute*
+        #: runs outside the lock, so queries never block behind an update for
+        #: longer than the O(Δ) commit itself.
+        self._lock = threading.RLock()
+        self._dataset_stale = False
         self._plane: Optional[SharedDataPlane] = None
         self._shard_planes: Optional[List[Tuple[PlaneHandle, type]]] = None
         self._plane_disabled = False
+        self._dirty_plane_shards: Set[int] = set()
+        #: ``None`` = no rebalance in flight; a list = journal of updates
+        #: applied since :meth:`begin_rebalance`, replayed at commit.
+        self._journal: Optional[List[UpdateOperation]] = None
+        self._maintenance_handles: List[Any] = []
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    @property
+    def dataset(self) -> List:
+        """The global record list, reconstructed lazily from the shards.
+
+        Deltas keep the shard indexes current in O(Δ) and merely mark this
+        view stale; the first reader pays one O(n) pointer gather (records in
+        global-id order, via each shard's lazily-refreshed live dataset).
+        """
+        with self._lock:
+            if self._dataset_stale:
+                merged: List = [None] * len(self._assignment)
+                for shard_id, shard in enumerate(self._shards):
+                    ids = self._assignment.global_ids[shard_id]
+                    for global_id, record in zip(ids, shard.dataset):
+                        merged[int(global_id)] = record
+                self._dataset = merged
+                self._dataset_stale = False
+            return self._dataset
+
     @property
     def assignment(self) -> ShardAssignment:
         return self._assignment
@@ -223,7 +287,9 @@ class ShardedSelector(SimilaritySelector):
             "shard_sizes": self.shard_sizes(),
             "parallel": self.parallel,
             "backend": self.backend,
-            "records": len(self.dataset),
+            "records": len(self),
+            "rebalance_in_flight": self._journal is not None,
+            "journal_depth": len(self._journal) if self._journal is not None else 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -242,7 +308,10 @@ class ShardedSelector(SimilaritySelector):
         return result
 
     def _map_shards(
-        self, op: str, task: Callable[[SimilaritySelector], Any]
+        self,
+        op: str,
+        task: Callable[[SimilaritySelector], Any],
+        shards: List[SimilaritySelector],
     ) -> List[Any]:
         """Run ``task`` on every shard selector, in parallel when enabled.
 
@@ -257,16 +326,16 @@ class ShardedSelector(SimilaritySelector):
         for spans and metrics) but keeps ``pool.map``'s error contract: every
         handle resolves before the first failure re-raises.
         """
-        if not self.parallel or self.num_shards == 1:
+        if not self.parallel or len(shards) == 1:
             return [
                 self._shard_call(op, shard_id, shard, task)
-                for shard_id, shard in enumerate(self._shards)
+                for shard_id, shard in enumerate(shards)
             ]
         runtime = self.runtime if self.runtime is not None else default_runtime()
-        pool = runtime.pool(SHARD_POOL, num_workers=self.num_shards)
+        pool = runtime.pool(SHARD_POOL, num_workers=len(shards))
         handles = [
             pool.submit(self._shard_call, op, shard_id, shard, task)
-            for shard_id, shard in enumerate(self._shards)
+            for shard_id, shard in enumerate(shards)
         ]
         errors = [handle.exception() for handle in handles]
         for error in errors:
@@ -275,71 +344,119 @@ class ShardedSelector(SimilaritySelector):
         return [handle.result() for handle in handles]
 
     def _ensure_planes(self) -> Optional[List[Tuple[PlaneHandle, type]]]:
-        """Publish every shard's arrays once; ``None`` = thread fallback.
+        """Publish shard arrays (incrementally); ``None`` = thread fallback.
 
         Publication is all-or-nothing: one shard that cannot export arrays
         (e.g. a Jaccard selector over non-integer tokens) disables the
         process path for the whole selector — half-process/half-thread
-        fan-out would serialize on the slower half anyway.  The outcome is
-        remembered until the shards change (``apply_routed`` resets it).
+        fan-out would serialize on the slower half anyway.
+
+        After an update only the *dirty* shards (the ones the update touched)
+        re-export and republish; every other shard keeps its published plane,
+        so worker processes keep their warm mmap views and rebuild caches.
+        A layout change (rebalance, shard-count change) resets everything.
         """
         # Unlike the thread path there is no single-shard shortcut: one shard
         # in one worker process still moves the scan off the caller's core
         # (and keeps 1-worker measurements honest about pipe overhead).
         if self.backend != "process" or not self.parallel:
             return None
-        if self._plane_disabled:
-            return None
-        if self._shard_planes is not None:
-            return self._shard_planes
-        exports = []
-        for shard in self._shards:
-            exported = shard.export_arrays()
-            if exported is None:
-                self._plane_disabled = True
+        with self._lock:
+            if self._plane_disabled:
                 return None
-            exports.append((type(shard), exported))
-        if self._plane is None:
-            self._plane = SharedDataPlane()
-        self._shard_planes = [
-            (self._plane.publish(arrays, meta), selector_cls)
-            for selector_cls, (arrays, meta) in exports
-        ]
-        return self._shard_planes
+            if self._shard_planes is not None and not self._dirty_plane_shards:
+                return self._shard_planes
+            if (
+                self._shard_planes is not None
+                and len(self._shard_planes) == self.num_shards
+            ):
+                # Incremental path: re-export only the dirty shards.
+                planes = list(self._shard_planes)
+                dirty = sorted(self._dirty_plane_shards)
+                refresh = dirty
+            else:
+                planes = [None] * self.num_shards
+                refresh = list(range(self.num_shards))
+            exports = []
+            for shard_id in refresh:
+                shard = self._shards[shard_id]
+                exported = shard.export_arrays()
+                if exported is None:
+                    self._plane_disabled = True
+                    self._shard_planes = None
+                    self._dirty_plane_shards = set()
+                    return None
+                exports.append((shard_id, type(shard), exported))
+            if self._plane is None:
+                self._plane = SharedDataPlane()
+            for shard_id, selector_cls, (arrays, meta) in exports:
+                planes[shard_id] = (self._plane.publish(arrays, meta), selector_cls)
+            self._shard_planes = planes
+            self._dirty_plane_shards = set()
+            return self._shard_planes
 
-    def _invalidate_planes(self) -> None:
-        """Forget published shard planes after any shard is replaced.
+    def _invalidate_planes_locked(
+        self, shard_ids: Optional[Sequence[int]] = None
+    ) -> None:
+        """Mark shard planes stale; caller holds the layout lock.
 
-        The payload files stay on disk until the plane is cleaned up —
-        worker processes may still hold mmap views over them, and unchanged
-        shards republish to the very same content-named file for free.
+        With ``shard_ids`` only those shards are marked dirty — unchanged
+        shards keep their published plane (payload files stay on disk and
+        worker processes keep their mmap views).  Without, the whole layout
+        changed: every plane is dropped and the disabled flag is reset so the
+        next process fan-out re-probes exportability from scratch.
         """
-        self._shard_planes = None
+        if (
+            shard_ids is None
+            or self._shard_planes is None
+            or len(self._shard_planes) != self.num_shards
+        ):
+            self._shard_planes = None
+            self._dirty_plane_shards = set()
+        else:
+            self._dirty_plane_shards.update(int(i) for i in shard_ids)
         self._plane_disabled = False
+
+    def _invalidate_planes(self, shard_ids: Optional[Sequence[int]] = None) -> None:
+        with self._lock:
+            self._invalidate_planes_locked(shard_ids)
 
     def _fan_out(
         self, op: str, payload: Tuple, task: Callable[[SimilaritySelector], Any]
-    ) -> List[Any]:
+    ) -> Tuple[List[Any], ShardAssignment]:
         """Run one op on every shard: process plane fan-out when available,
         the thread (or serial) path otherwise.  Both execute the same
-        selector code, so their results are interchangeable bit for bit."""
-        planes = self._ensure_planes()
+        selector code, so their results are interchangeable bit for bit.
+
+        The (shards, assignment, planes) triple is captured under the layout
+        lock so a concurrent rebalance commit cannot tear it; the shard
+        compute itself runs outside the lock.  Returns the captured
+        assignment so the caller merges local ids against the layout that
+        actually answered.
+        """
+        with self._lock:
+            shards = list(self._shards)
+            assignment = self._assignment
+            planes = self._ensure_planes()
         if planes is None:
-            return self._map_shards(op, task)
+            return self._map_shards(op, task, shards), assignment
         runtime = self.runtime if self.runtime is not None else default_runtime()
         pool = runtime.pool(
-            SHARD_PROCESS_POOL, num_workers=self.num_shards, backend="process"
+            SHARD_PROCESS_POOL, num_workers=len(planes), backend="process"
         )
         handles = [
             pool.submit(_plane_shard_task, handle, selector_cls, op, shard_id, payload)
             for shard_id, (handle, selector_cls) in enumerate(planes)
         ]
-        return [handle.result() for handle in handles]
+        return [handle.result() for handle in handles], assignment
 
-    def _merge(self, local_matches: Sequence[Sequence[int]]) -> np.ndarray:
+    @staticmethod
+    def _merge(
+        local_matches: Sequence[Sequence[int]], assignment: ShardAssignment
+    ) -> np.ndarray:
         """Translate per-shard local match ids to one sorted global id array."""
         parts = [
-            self._assignment.to_global(shard_id, matches)
+            assignment.to_global(shard_id, matches)
             for shard_id, matches in enumerate(local_matches)
             if len(matches)
         ]
@@ -358,10 +475,10 @@ class ShardedSelector(SimilaritySelector):
         self, record: Any, threshold: float
     ) -> Tuple[List[int], List[int]]:
         """Global match ids plus the per-shard match counts (executor telemetry)."""
-        local_matches = self._fan_out(
+        local_matches, assignment = self._fan_out(
             "query", (record, threshold), lambda shard: shard.query(record, threshold)
         )
-        merged = self._merge(local_matches)
+        merged = self._merge(local_matches, assignment)
         return [int(i) for i in merged], [len(matches) for matches in local_matches]
 
     def query_many(
@@ -371,7 +488,7 @@ class ShardedSelector(SimilaritySelector):
         amortizing the thread dispatch over every query."""
         if len(records) != len(thresholds):
             raise ValueError("records and thresholds must have the same length")
-        per_shard = self._fan_out(
+        per_shard, assignment = self._fan_out(
             "query_many",
             (list(records), list(thresholds)),
             lambda shard: [
@@ -380,20 +497,22 @@ class ShardedSelector(SimilaritySelector):
             ],
         )
         return [
-            [int(i) for i in self._merge([matches[q] for matches in per_shard])]
+            [
+                int(i)
+                for i in self._merge(
+                    [matches[q] for matches in per_shard], assignment
+                )
+            ]
             for q in range(len(records))
         ]
 
     def cardinality(self, record: Any, threshold: float) -> int:
-        return int(
-            sum(
-                self._fan_out(
-                    "cardinality",
-                    (record, threshold),
-                    lambda shard: shard.cardinality(record, threshold),
-                )
-            )
+        counts, _ = self._fan_out(
+            "cardinality",
+            (record, threshold),
+            lambda shard: shard.cardinality(record, threshold),
         )
+        return int(sum(counts))
 
     def cardinality_curve(self, record: Any, thresholds: Sequence[float]) -> np.ndarray:
         """Sum of per-shard exact curves — exact, and (like any sum of
@@ -401,7 +520,7 @@ class ShardedSelector(SimilaritySelector):
         thresholds = np.asarray(thresholds, dtype=np.float64)
         if thresholds.size == 0:
             return np.zeros(0, dtype=np.int64)
-        curves = self._fan_out(
+        curves, _ = self._fan_out(
             "cardinality_curve",
             (record, thresholds),
             lambda shard: shard.cardinality_curve(record, thresholds),
@@ -416,6 +535,7 @@ class ShardedSelector(SimilaritySelector):
             parallel=self.parallel,
             runtime=self.runtime,
             backend=self.backend,
+            auto_compact=self.auto_compact,
         )
 
     # ------------------------------------------------------------------ #
@@ -428,7 +548,7 @@ class ShardedSelector(SimilaritySelector):
         return self._shards[0].rebuild(records)
 
     def __snapshot_state__(self) -> Dict[str, Any]:
-        """Persist shards + assignment; drop the unserializable member.
+        """Persist shards + assignment; drop the unserializable members.
 
         ``selector_factory`` is typically a caller closure — the restore hook
         substitutes :meth:`_rebuild_shard`, which reconstructs a same-type,
@@ -437,25 +557,38 @@ class ShardedSelector(SimilaritySelector):
         the live pools), preserving runtime-sharing identity across restore:
         an engine and its sharded selectors restore onto ONE runtime, and the
         shard pool is rebuilt lazily on the first parallel fan-out.  Plane
-        state (temp files + handles into them) is likewise dropped — the
-        restored selector republishes lazily on its first process fan-out.
+        state (temp files + handles into them), the layout lock, any pending
+        maintenance handles, and an in-flight rebalance journal are likewise
+        dropped — a restored selector serves the committed layout.
         """
         state = dict(self.__dict__)
+        state["_dataset"] = self.dataset  # materialize if delta-stale
+        state["_dataset_stale"] = False
         state.pop("selector_factory", None)
+        state.pop("_lock", None)
         state["_plane"] = None
         state["_shard_planes"] = None
         state["_plane_disabled"] = False
+        state["_dirty_plane_shards"] = set()
+        state["_journal"] = None
+        state["_maintenance_handles"] = []
         return state
 
     def __snapshot_restore__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
         self.selector_factory = self._rebuild_shard
-        # Selectors saved before the process backend existed restore without
-        # the plane fields; default them.
+        self._lock = threading.RLock()
+        # Selectors saved before the process backend / delta-update era
+        # restore without the newer fields; default them.
         self.__dict__.setdefault("backend", "thread")
+        self.__dict__.setdefault("auto_compact", False)
+        self.__dict__.setdefault("_dataset_stale", False)
         self.__dict__.setdefault("_plane", None)
         self.__dict__.setdefault("_shard_planes", None)
         self.__dict__.setdefault("_plane_disabled", False)
+        self.__dict__.setdefault("_dirty_plane_shards", set())
+        self.__dict__.setdefault("_journal", None)
+        self.__dict__.setdefault("_maintenance_handles", [])
 
     # ------------------------------------------------------------------ #
     # Update routing (the per-shard §8 path)
@@ -466,15 +599,20 @@ class ShardedSelector(SimilaritySelector):
         Nothing is applied; the returned routing is committed with
         :meth:`apply_routed`.  Applying each shard's local operation to that
         shard's records yields exactly the shards of the globally updated
-        dataset — deletes replay :func:`~repro.datasets.updates.apply_operation`
-        semantics (descending positional order, out-of-range skipped) so the
-        two views cannot diverge.
+        dataset — deletes follow :func:`~repro.datasets.updates.apply_operation`
+        semantics (descending positional replay, out-of-range skipped) so the
+        two views cannot diverge.  Distinct in-range delete positions take a
+        vectorized O(Δ) directory gather; duplicate or out-of-range positions
+        fall back to the faithful replay loop.
         """
-        assignment = self._assignment
+        with self._lock:
+            assignment = self._assignment
+            partitioner = self.partitioner
+        total = len(assignment)
         local_operations: Dict[int, UpdateOperation] = {}
         if operation.kind == "insert":
             new_records = list(operation.records)
-            shard_ids = self.partitioner.assign(new_records, start_index=len(self._dataset))
+            shard_ids = partitioner.assign(new_records, start_index=total)
             for shard_id in np.unique(shard_ids):
                 subset = [
                     record
@@ -483,35 +621,50 @@ class ShardedSelector(SimilaritySelector):
                 ]
                 local_operations[int(shard_id)] = UpdateOperation("insert", subset)
             new_shard_of = np.concatenate([assignment.shard_of, shard_ids])
-            new_dataset = self._dataset + new_records
         else:  # delete, by global positional index
-            # Positions shift as deletes apply; replay them descending over a
-            # live view of original ids, exactly like apply_operation does.
-            alive = list(range(len(self._dataset)))
-            removed = np.zeros(len(self._dataset), dtype=bool)
-            per_shard_locals: Dict[int, List[int]] = {}
-            for position in sorted((int(i) for i in operation.records), reverse=True):
-                if not 0 <= position < len(alive):
-                    continue
-                original = alive.pop(position)
-                removed[original] = True
-                shard_id = int(assignment.shard_of[original])
-                per_shard_locals.setdefault(shard_id, []).append(
-                    int(assignment.local_of[original])
-                )
-            local_operations = {
-                shard_id: UpdateOperation("delete", locals_)
-                for shard_id, locals_ in per_shard_locals.items()
-            }
+            raw = np.asarray([int(i) for i in operation.records], dtype=np.int64)
+            removed = np.zeros(total, dtype=bool)
+            if (
+                raw.size
+                and bool((raw >= 0).all())
+                and bool((raw < total).all())
+                and np.unique(raw).size == raw.size
+            ):
+                # Fast path: distinct in-range positions delete exactly those
+                # records, so the per-shard locals are two directory gathers.
+                positions = np.sort(raw)
+                removed[positions] = True
+                position_shards = assignment.shard_of[positions]
+                position_locals = assignment.local_of[positions]
+                for shard_id in np.unique(position_shards):
+                    locals_ = position_locals[position_shards == shard_id]
+                    local_operations[int(shard_id)] = UpdateOperation(
+                        "delete", [int(i) for i in locals_[::-1]]
+                    )
+            else:
+                # Positions shift as deletes apply; replay them descending
+                # over a live view of original ids, exactly like
+                # apply_operation does.
+                alive = list(range(total))
+                per_shard_locals: Dict[int, List[int]] = {}
+                for position in sorted((int(i) for i in raw), reverse=True):
+                    if not 0 <= position < len(alive):
+                        continue
+                    original = alive.pop(position)
+                    removed[original] = True
+                    shard_id = int(assignment.shard_of[original])
+                    per_shard_locals.setdefault(shard_id, []).append(
+                        int(assignment.local_of[original])
+                    )
+                local_operations = {
+                    shard_id: UpdateOperation("delete", locals_)
+                    for shard_id, locals_ in per_shard_locals.items()
+                }
             new_shard_of = assignment.shard_of[~removed]
-            # `alive` already holds the surviving original ids in order — no
-            # need to replay the deletes a second time via apply_operation.
-            new_dataset = [self._dataset[i] for i in alive]
         return ShardRouting(
             operation=operation,
             local_operations=local_operations,
             new_shard_of=new_shard_of,
-            new_dataset=new_dataset,
         )
 
     def apply_routed(
@@ -519,38 +672,256 @@ class ShardedSelector(SimilaritySelector):
         routing: ShardRouting,
         rebuilt_shards: Optional[Dict[int, SimilaritySelector]] = None,
     ) -> None:
-        """Commit a routed update in place, rebuilding only touched shards.
+        """Commit a routed update in place as O(Δ) deltas on touched shards.
+
+        Each touched shard absorbs its local operation through
+        ``insert_many``/``delete_many`` — append segments + tombstones on
+        delta-maintained selectors, an in-place rebuild on selectors without
+        delta support.  Untouched shards are not even looked at, and only the
+        touched shards' published planes are invalidated.
 
         ``rebuilt_shards`` carries shard selectors an external component (a
         per-shard :class:`~repro.core.IncrementalUpdateManager`) already
-        rebuilt while processing its local operation — those are adopted
-        instead of rebuilt a second time.
+        updated while processing its local operation.  A manager applying
+        deltas in place hands back the *same* object — adoption is then just
+        the length validation; a manager that rebuilt hands back a new object
+        that replaces the shard.
         """
         rebuilt_shards = rebuilt_shards or {}
-        new_assignment = ShardAssignment.from_shard_of(
-            routing.new_shard_of, self.num_shards
-        )
-        for shard_id, local_operation in routing.local_operations.items():
-            expected = len(new_assignment.global_ids[shard_id])
-            if shard_id in rebuilt_shards:
-                shard = rebuilt_shards[shard_id]
+        with self._lock:
+            if routing.operation.kind == "insert":
+                delta = routing.new_shard_of[len(self._assignment):]
+                new_assignment = self._assignment.with_inserts(delta)
             else:
-                shard = self.selector_factory(
-                    apply_operation(self._shards[shard_id].dataset, local_operation)
+                new_assignment = ShardAssignment.from_shard_of(
+                    routing.new_shard_of, self.num_shards
                 )
-            if len(shard) != expected:
-                raise ValueError(
-                    f"shard {shard_id} has {len(shard)} records after the update, "
-                    f"expected {expected}; the routed local operation and the "
-                    "adopted selector disagree"
-                )
-            self._shards[shard_id] = shard
-        self._assignment = new_assignment
-        self._dataset = list(routing.new_dataset)
-        self._invalidate_planes()
+            for shard_id, local_operation in routing.local_operations.items():
+                expected = len(new_assignment.global_ids[shard_id])
+                shard = self._shards[shard_id]
+                adopted = rebuilt_shards.get(shard_id)
+                if adopted is not None and adopted is not shard:
+                    shard = adopted
+                elif adopted is None:
+                    if local_operation.kind == "insert":
+                        shard.insert_many(local_operation.records)
+                    else:
+                        shard.delete_many(
+                            resolve_delete_positions(
+                                len(shard), local_operation.records
+                            )
+                        )
+                if len(shard) != expected:
+                    raise ValueError(
+                        f"shard {shard_id} has {len(shard)} records after the update, "
+                        f"expected {expected}; the routed local operation and the "
+                        "adopted selector disagree"
+                    )
+                self._shards[shard_id] = shard
+            self._assignment = new_assignment
+            if routing.operation.kind == "insert" and not self._dataset_stale:
+                self._dataset.extend(routing.operation.records)
+            else:
+                self._dataset_stale = True
+            self._mutations += 1
+            self._invalidate_planes_locked(routing.touched_shards)
+            if self._journal is not None:
+                self._journal.append(routing.operation)
+            self._schedule_compaction_locked(routing.touched_shards)
 
     def apply_operation(self, operation: UpdateOperation) -> ShardRouting:
         """Route and commit a global update in one call (no external managers)."""
-        routing = self.route_operation(operation)
-        self.apply_routed(routing)
+        with self._lock:
+            routing = self.route_operation(operation)
+            self.apply_routed(routing)
         return routing
+
+    def insert_many(self, records: Sequence) -> int:
+        records = list(records)
+        if not records:
+            return 0
+        self.apply_operation(UpdateOperation("insert", records))
+        return len(records)
+
+    def delete_many(self, positions) -> int:
+        from ..selection.delta import check_delete_positions
+
+        checked = check_delete_positions(len(self), positions)
+        if checked.size == 0:
+            return 0
+        self.apply_operation(UpdateOperation("delete", [int(i) for i in checked]))
+        return int(checked.size)
+
+    # ------------------------------------------------------------------ #
+    # Background maintenance (opt-in)
+    # ------------------------------------------------------------------ #
+    def _compact_shard(self, shard_id: int) -> int:
+        """Compact one shard and refresh its plane; runs on the shard pool."""
+        with self._lock:
+            shard = self._shards[shard_id]
+            reclaimed = shard.compact()
+            if reclaimed:
+                self._invalidate_planes_locked([shard_id])
+            return reclaimed
+
+    def _schedule_compaction_locked(self, shard_ids: Sequence[int]) -> None:
+        """Queue background compaction for shards past their policy threshold.
+
+        Caller holds the layout lock.  No-op unless ``auto_compact`` — the
+        selector otherwise relies on each shard's forced-compaction bound
+        (synchronous, amortized O(Δ)) plus explicit ``compact()`` calls.
+        """
+        if not self.auto_compact:
+            return
+        pending = [
+            int(i) for i in shard_ids if self._shards[int(i)].needs_compaction()
+        ]
+        if not pending:
+            return
+        runtime = self.runtime if self.runtime is not None else default_runtime()
+        pool = runtime.pool(SHARD_POOL, num_workers=self.num_shards)
+        self._maintenance_handles = [
+            handle for handle in self._maintenance_handles if not handle.done()
+        ]
+        for shard_id in pending:
+            self._maintenance_handles.append(
+                pool.submit(self._compact_shard, shard_id)
+            )
+
+    def join_maintenance(self) -> int:
+        """Drain pending background compactions; returns rows reclaimed."""
+        with self._lock:
+            handles, self._maintenance_handles = self._maintenance_handles, []
+        return sum(int(handle.result()) for handle in handles)
+
+    def compact(self) -> int:
+        """Synchronously compact every shard; returns total rows reclaimed."""
+        reclaimed = 0
+        with self._lock:
+            for shard_id in range(self.num_shards):
+                reclaimed += self._compact_shard(shard_id)
+        return reclaimed
+
+    def needs_compaction(self) -> bool:
+        return any(shard.needs_compaction() for shard in self._shards)
+
+    # ------------------------------------------------------------------ #
+    # Live rebalancing (repro.sharding.rebalance drives these)
+    # ------------------------------------------------------------------ #
+    def begin_rebalance(self) -> ShardLayoutSnapshot:
+        """Capture a consistent base layout and start journaling updates.
+
+        The old layout keeps serving queries *and updates* while the new one
+        is built elsewhere; every update applied between begin and commit is
+        journaled and replayed against the staged layout at commit, so the
+        swap loses nothing.
+        """
+        with self._lock:
+            if self._journal is not None:
+                raise RuntimeError(
+                    "a rebalance is already in flight; commit or abort it first"
+                )
+            base = ShardLayoutSnapshot(
+                records=list(self.dataset),
+                assignment=self._assignment,
+                shards=list(self._shards),
+                versions=[shard.mutation_count for shard in self._shards],
+            )
+            self._journal = []
+            return base
+
+    def abort_rebalance(self) -> int:
+        """Discard the staged rebalance; the live layout is already current.
+
+        Returns the number of journaled operations dropped (they were applied
+        to the live layout as they arrived — only the replay list is
+        discarded)."""
+        with self._lock:
+            journal, self._journal = self._journal, None
+            return len(journal) if journal is not None else 0
+
+    def commit_rebalance(
+        self,
+        base: ShardLayoutSnapshot,
+        assignment: ShardAssignment,
+        built_shards: Dict[int, SimilaritySelector],
+        aliased_sources: Optional[Dict[int, int]] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> int:
+        """Atomically swap in a rebalanced layout; returns ops replayed.
+
+        ``assignment`` maps the *base* records (global ids as of ``base``) to
+        the new shards.  ``built_shards`` holds the target selectors built
+        from base slices; ``aliased_sources`` maps target shard id → base
+        shard id for targets whose record set is unchanged — the old shard
+        object is aliased into the new layout *only if* its mutation count
+        still matches the base capture (shards mutate in place, so a version
+        bump means journaled updates touched it; the target is then rebuilt
+        from the immutable base records instead, and the journal replay
+        re-applies those updates).
+
+        The swap itself is O(shards) under the lock: queries either see the
+        complete old layout or the complete new one, never a mix.  After the
+        swap the journal replays through the normal O(Δ) delta path.
+        """
+        aliased_sources = dict(aliased_sources or {})
+        with self._lock:
+            if self._journal is None:
+                raise RuntimeError("no rebalance in flight; call begin_rebalance first")
+            if len(assignment) != len(base.records):
+                raise ValueError(
+                    f"rebalance assignment covers {len(assignment)} records, "
+                    f"base layout has {len(base.records)}"
+                )
+            staged: List[Optional[SimilaritySelector]] = [None] * assignment.num_shards
+            for target in range(assignment.num_shards):
+                expected = len(assignment.global_ids[target])
+                shard: Optional[SimilaritySelector] = None
+                if target in built_shards:
+                    shard = built_shards[target]
+                elif target in aliased_sources:
+                    source = aliased_sources[target]
+                    candidate = base.shards[source]
+                    if candidate.mutation_count == base.versions[source]:
+                        shard = candidate
+                if shard is None and target in aliased_sources:
+                    # Aliased source mutated since begin: rebuild the target
+                    # from the immutable base records; the journal replay
+                    # below restores the in-flight updates.
+                    shard = self.selector_factory(
+                        [base.records[int(i)] for i in assignment.global_ids[target]]
+                    )
+                if shard is None:
+                    raise ValueError(
+                        f"rebalance target shard {target} has neither a built "
+                        "selector nor an aliased source"
+                    )
+                if len(shard) != expected:
+                    raise ValueError(
+                        f"rebalance target shard {target} has {len(shard)} records, "
+                        f"expected {expected}"
+                    )
+                staged[target] = shard
+            if partitioner is not None:
+                if partitioner.num_shards != assignment.num_shards:
+                    raise ValueError(
+                        f"partitioner covers {partitioner.num_shards} shards, "
+                        f"assignment has {assignment.num_shards}"
+                    )
+                self.partitioner = partitioner
+            elif assignment.num_shards != self.partitioner.num_shards:
+                raise ValueError(
+                    "shard count changed; pass a partitioner covering "
+                    f"{assignment.num_shards} shards"
+                )
+            self.num_shards = assignment.num_shards
+            self._shards = list(staged)
+            self._assignment = assignment
+            self._dataset = list(base.records)
+            self._dataset_stale = False
+            self._mutations += 1
+            self._invalidate_planes_locked()
+            journal, self._journal = self._journal, None
+            for operation in journal:
+                self.apply_operation(operation)
+            return len(journal)

@@ -186,3 +186,56 @@ def relabel(
         )
         index = run_end
     return relabelled
+
+
+def relabel_delta(
+    examples: Sequence[QueryExample],
+    selector: SimilaritySelector,
+    inserted: Sequence,
+    removed: Sequence,
+) -> List[QueryExample]:
+    """Relabel against only the Δ rows an update touched (O(Δ) per query).
+
+    Exact cardinalities are additive over disjoint record sets: after an
+    update the live dataset is ``old ∪ inserted − removed`` (as multisets),
+    so for every query and threshold::
+
+        card_new = card_old + card(inserted) − card(removed)
+
+    ``card_old`` is already stored on each example; the two delta terms come
+    from *probe* selectors built over just the Δ rows — same selector type
+    and configuration (via ``selector.rebuild``), so the distance semantics
+    match the labels being corrected.  A record inserted and later removed
+    appears in both probes and cancels exactly, so deltas accumulated across
+    several operations (the manager's pending-train path) stay exact.
+    """
+    inserted = list(inserted)
+    removed = list(removed)
+    if not inserted and not removed:
+        return list(examples)
+    # Probe selectors over the delta rows only (O(Δ) build, not a dataset
+    # rebuild on the update path).
+    plus = selector.rebuild(inserted) if inserted else None  # repro: ignore[RPR010] - O(Δ) probe over delta rows, not a dataset rebuild
+    minus = selector.rebuild(removed) if removed else None  # repro: ignore[RPR010] - O(Δ) probe over delta rows, not a dataset rebuild
+    examples = list(examples)
+    relabelled: List[QueryExample] = []
+    index = 0
+    while index < len(examples):
+        record = examples[index].record
+        run_end = index
+        while run_end < len(examples) and examples[run_end].record is record:
+            run_end += 1
+        run = examples[index:run_end]
+        thetas = [example.theta for example in run]
+        old = np.asarray([example.cardinality for example in run], dtype=np.int64)
+        delta = np.zeros(len(run), dtype=np.int64)
+        if plus is not None:
+            delta += plus.cardinality_curve(record, thetas)
+        if minus is not None:
+            delta -= minus.cardinality_curve(record, thetas)
+        relabelled.extend(
+            QueryExample(record=record, theta=example.theta, cardinality=int(cardinality))
+            for example, cardinality in zip(run, old + delta)
+        )
+        index = run_end
+    return relabelled

@@ -414,6 +414,85 @@ class TestMetricNaming:
 
 
 # --------------------------------------------------------------------- #
+# RPR010 — no index rebuilds on the update path
+# --------------------------------------------------------------------- #
+class TestUpdatePathRebuild:
+    def test_fires_on_rebuild_in_an_update_method(self):
+        source = """
+            class Binding:
+                def apply_update(self, records):
+                    self.selector = self.selector.rebuild(records)
+        """
+        assert codes(source) == ["RPR010"]
+
+    def test_fires_on_selector_factory_call(self):
+        source = """
+            class Shards:
+                def apply_routed(self, routing, records):
+                    return self.selector_factory(records)
+        """
+        assert codes(source) == ["RPR010"]
+
+    def test_fires_on_bare_selector_factory_name(self):
+        source = """
+            def handle_update(selector_factory, records):
+                return selector_factory(records)
+        """
+        assert codes(source) == ["RPR010"]
+
+    def test_compaction_and_rebalance_sites_are_exempt(self):
+        source = """
+            class Shards:
+                def _compact_shard(self, shard_id, records):
+                    return self.selector_factory(records)
+
+                def commit_rebalance(self, records):
+                    return self.selector.rebuild(records)
+
+                def _rebuild_shard(self, records):
+                    return self.selector_factory(records)
+
+                def __init__(self, records):
+                    self.shard = self.selector_factory(records)
+        """
+        assert codes(source) == []
+
+    def test_allowlisted_modules_are_exempt(self):
+        source = """
+            def refresh(selector, records):
+                return selector.rebuild(records)
+        """
+        assert codes(source, path="src/repro/sharding/rebalance.py") == []
+        assert codes(source, path="src/repro/selection/delta.py") == []
+        assert codes(source) == ["RPR010"]
+
+    def test_tests_and_benchmarks_are_exempt(self):
+        source = """
+            def probe(selector, records):
+                return selector.rebuild(records)
+        """
+        assert codes(source, path="tests/test_thing.py") == []
+        assert codes(source, path="benchmarks/bench_thing.py") == []
+
+    def test_unrelated_rebuild_names_do_not_fire(self):
+        source = """
+            def apply_update(selector, records):
+                rebuild_in_place(selector, records)
+                cache = cached_rebuild(records)
+                return cache
+        """
+        assert codes(source) == []
+
+    def test_suppression_is_honored(self):
+        source = """
+            class Binding:
+                def replace_all(self, records):
+                    self.selector = self.selector.rebuild(records)  # repro: ignore[RPR010] - wholesale replacement
+        """
+        assert codes(source) == []
+
+
+# --------------------------------------------------------------------- #
 # RPR900 — unused suppressions are themselves findings
 # --------------------------------------------------------------------- #
 class TestSuppressions:

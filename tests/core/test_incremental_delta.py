@@ -1,0 +1,154 @@
+"""O(Δ) label maintenance and the update manager's delta path (paper §8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CardNetEstimator, IncrementalUpdateManager
+from repro.datasets.updates import UpdateOperation
+from repro.selection import PackedHammingSelector
+from repro.workloads.builder import relabel, relabel_delta
+
+
+@pytest.fixture(scope="module")
+def delta_setup(binary_dataset, binary_workload):
+    selector = PackedHammingSelector(binary_dataset.records)
+    return binary_dataset, binary_workload, selector
+
+
+class TestRelabelDelta:
+    def test_empty_delta_returns_the_same_labels(self, delta_setup):
+        _, workload, selector = delta_setup
+        examples = list(workload.validation)
+        relabelled = relabel_delta(examples, selector, [], [])
+        assert [e.cardinality for e in relabelled] == [
+            e.cardinality for e in examples
+        ]
+
+    @pytest.mark.parametrize("case", ["insert", "delete", "both"])
+    def test_delta_relabel_matches_full_relabel(self, delta_setup, case):
+        dataset, workload, _ = delta_setup
+        rng = np.random.default_rng(13)
+        records = list(dataset.records)
+        selector = PackedHammingSelector(np.asarray(records, dtype=np.uint8))
+        examples = list(workload.validation)
+
+        inserted, removed = [], []
+        if case in ("insert", "both"):
+            inserted = list(
+                rng.integers(0, 2, size=(9, records[0].shape[0]), dtype=np.uint8)
+            )
+            selector.insert_many(inserted)
+        if case in ("delete", "both"):
+            positions = np.asarray([3, 17, 40])
+            removed = [records[int(i)] for i in positions]
+            selector.delete_many(positions)
+
+        fast = relabel_delta(examples, selector, inserted, removed)
+        full = relabel(examples, selector)
+        assert [e.cardinality for e in fast] == [e.cardinality for e in full]
+
+    def test_accumulated_deltas_cancel_insert_then_delete(self, delta_setup):
+        dataset, workload, _ = delta_setup
+        rng = np.random.default_rng(5)
+        selector = PackedHammingSelector(dataset.records)
+        examples = list(workload.validation)
+
+        extra = list(
+            rng.integers(0, 2, size=(4, dataset.records.shape[1]), dtype=np.uint8)
+        )
+        selector.insert_many(extra)
+        # Drop two of the rows just inserted: in the *accumulated* delta both
+        # sides must cancel, leaving labels equal to a full relabel.
+        doomed = np.asarray([len(dataset.records), len(dataset.records) + 1])
+        selector.delete_many(doomed)
+        inserted = extra
+        removed = [extra[0], extra[1]]
+
+        fast = relabel_delta(examples, selector, inserted, removed)
+        full = relabel(examples, selector)
+        assert [e.cardinality for e in fast] == [e.cardinality for e in full]
+
+
+@pytest.fixture
+def manager(binary_dataset, binary_workload):
+    selector = PackedHammingSelector(binary_dataset.records)
+    estimator = CardNetEstimator.for_dataset(
+        binary_dataset, seed=3, epochs=2, vae_pretrain_epochs=1
+    )
+    train = relabel(binary_workload.train[:30], selector)
+    validation = relabel(binary_workload.validation[:10], selector)
+    estimator.fit(train, validation)
+    return IncrementalUpdateManager(
+        estimator,
+        selector,
+        train,
+        validation,
+        max_epochs_per_update=1,
+    )
+
+
+class TestManagerDeltaPath:
+    def test_process_applies_in_place_without_rebuilding(self, manager):
+        selector = manager.selector
+        mutations = selector.mutation_count
+        rng = np.random.default_rng(2)
+        inserted = rng.integers(
+            0, 2, size=(5, np.asarray(manager.records[0]).shape[0]), dtype=np.uint8
+        )
+        report = manager.process(UpdateOperation("insert", inserted), 0)
+        assert manager.selector is selector  # no index rebuild, only a delta
+        assert selector.mutation_count == mutations + 1
+        assert report.dataset_size == len(manager.records)
+
+    def test_validation_labels_stay_exact_through_the_delta_path(self, manager):
+        rng = np.random.default_rng(8)
+        width = np.asarray(manager.records[0]).shape[0]
+        manager.process(
+            UpdateOperation("insert", rng.integers(0, 2, size=(6, width), dtype=np.uint8)),
+            0,
+        )
+        manager.process(UpdateOperation("delete", np.asarray([1, 30, 299])), 1)
+        expected = relabel(manager.validation_examples, manager.selector)
+        assert [e.cardinality for e in manager.validation_examples] == [
+            e.cardinality for e in expected
+        ]
+
+    def test_training_deltas_accumulate_until_a_retrain(self, manager):
+        rng = np.random.default_rng(4)
+        width = np.asarray(manager.records[0]).shape[0]
+        # Make the baseline untriggerable so no retrain happens.
+        manager._baseline_validation_error = float("inf")
+        train_before = manager.train_examples
+        manager.process(
+            UpdateOperation("insert", rng.integers(0, 2, size=(3, width), dtype=np.uint8)),
+            0,
+        )
+        manager.process(UpdateOperation("delete", np.asarray([7, 8])), 1)
+        # Training labels untouched; deltas parked for the next retrain.
+        assert manager.train_examples is train_before
+        assert len(manager._pending_train_inserted) == 3
+        assert len(manager._pending_train_removed) == 2
+        # Force a degradation so the next step retrains and drains the queue.
+        manager._baseline_validation_error = -1.0
+        report = manager.process(UpdateOperation("delete", np.asarray([0])), 2)
+        assert report.retrained
+        assert manager._pending_train_inserted == []
+        assert manager._pending_train_removed == []
+        expected = relabel(manager.train_examples, manager.selector)
+        assert [e.cardinality for e in manager.train_examples] == [
+            e.cardinality for e in expected
+        ]
+
+    def test_revalidate_full_relabel_drains_pending(self, manager):
+        rng = np.random.default_rng(9)
+        width = np.asarray(manager.records[0]).shape[0]
+        manager._baseline_validation_error = float("inf")
+        manager.process(
+            UpdateOperation("insert", rng.integers(0, 2, size=(2, width), dtype=np.uint8)),
+            0,
+        )
+        assert manager._pending_train_inserted
+        report = manager.revalidate(force_retrain=True)
+        assert report.retrained
+        assert manager._pending_train_inserted == []
+        assert manager._pending_train_removed == []

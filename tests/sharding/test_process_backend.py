@@ -169,10 +169,25 @@ class TestUpdateInvalidation:
                 "insert", [row for row in RNG.integers(0, 2, size=(20, 48)).astype(np.uint8)]
             )
             thread_side.apply_operation(insert)
-            process_side.apply_operation(insert)
-            assert process_side._shard_planes is None  # invalidated
+            routing = process_side.apply_operation(insert)
+            # Only the touched shards' planes are marked dirty; untouched
+            # shards keep their published plane (workers keep warm views).
+            assert process_side._shard_planes is not None
+            assert process_side._dirty_plane_shards == set(routing.touched_shards)
+            untouched = [
+                shard_id
+                for shard_id in range(process_side.num_shards)
+                if shard_id not in routing.touched_shards
+            ]
+            before = dict(enumerate(first_planes))
             assert thread_side.query(query, 12.0) == process_side.query(query, 12.0)
-            assert process_side._shard_planes is not None  # republished lazily
+            assert process_side._dirty_plane_shards == set()  # republished lazily
+            after = process_side._shard_planes
+            assert after is not None
+            for shard_id in untouched:
+                assert after[shard_id][0] is before[shard_id][0]  # same handle
+            for shard_id in routing.touched_shards:
+                assert after[shard_id][0] is not before[shard_id][0]
             delete = UpdateOperation("delete", [3, 11, 40])
             thread_side.apply_operation(delete)
             process_side.apply_operation(delete)

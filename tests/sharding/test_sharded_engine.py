@@ -223,9 +223,14 @@ class TestShardedUpdates:
         assert isinstance(report, ShardedUpdateReport)
         assert len(report.touched_shards) == 1
         touched = report.touched_shards[0]
+        # Shards absorb updates as in-place O(Δ) deltas: every shard object
+        # keeps its identity, and only the routed shard saw a mutation.
         for shard_id in range(4):
-            same = binding.selector.shard(shard_id) is shards_before[shard_id]
-            assert same == (shard_id != touched)
+            assert binding.selector.shard(shard_id) is shards_before[shard_id]
+            expected_mutations = 1 if shard_id == touched else 0
+            assert (
+                binding.selector.shard(shard_id).mutation_count == expected_mutations
+            )
         assert report.dataset_size == len(binary_dataset.records) + 1
         assert len(binding.records) == report.dataset_size
 
@@ -340,3 +345,111 @@ class TestPerShardManagers:
         assert revalidation.epochs_run >= 0  # aggregate is well-formed
         snapshot = engine.feedback.snapshot()
         assert snapshot["events"][-1]["endpoint"] == "hm"
+
+
+class TestEngineRebalance:
+    def test_rebalance_swaps_endpoints_and_stays_exact(
+        self, sharded_engine, binary_dataset
+    ):
+        from repro.sharding import RebalancePlan, SplitShard
+
+        engine = sharded_engine
+        binding = engine.catalog.get("hm")
+        record = binary_dataset.records[5]
+        predicate = SimilarityPredicate("hm", record, 6.0)
+        before_ids = engine.execute(predicate).record_ids
+        old_group = engine.shard_group("hm")
+        old_grid = old_group.curve_thetas
+        version = binding.version
+
+        report = engine.rebalance_attribute(
+            "hm", RebalancePlan([SplitShard(0, parts=2)])
+        )
+
+        assert report is not None
+        assert report.num_shards_after == report.num_shards_before + 1
+        assert binding.shard_endpoints == [
+            f"hm#shard{i}" for i in range(report.num_shards_after)
+        ]
+        assert binding.version == version + 1
+        new_group = engine.shard_group("hm")
+        assert new_group is not old_group
+        assert list(new_group.curve_thetas) == list(old_grid)
+        # Planning still works against the swapped endpoints...
+        plan = engine.explain(ConjunctiveQuery([predicate]))
+        assert plan.driver.predicate.attribute == "hm"
+        assert plan.driver_shards == report.num_shards_after
+        # ...and execution is still bit-identical.
+        assert engine.execute(predicate).record_ids == before_ids
+
+    def test_rebalance_detaches_stale_shard_managers(
+        self, managed_sharded_setup
+    ):
+        from repro.sharding import MergeShards, RebalancePlan
+
+        engine, managers = managed_sharded_setup
+        assert "hm" in engine._shard_managers
+        report = engine.rebalance_attribute(
+            "hm", RebalancePlan([MergeShards((0, 1))])
+        )
+        assert report is not None
+        assert "hm" not in engine._shard_managers
+        assert "hm" not in engine._links
+        # Drift on the merged endpoint must not try to repair via managers
+        # built for the old layout (they hold dead shard selectors).
+        monitor = engine.feedback
+        events = [
+            monitor.observe("hm", estimated=1.0, actual=50_000.0)
+            for _ in range(monitor.min_observations + 1)
+        ]
+        fired = [event for event in events if event is not None]
+        assert fired and fired[0].revalidation is None
+
+    def test_rebalance_requires_estimator_factory(self, sharded_engine):
+        from repro.sharding import RebalancePlan, SplitShard
+
+        engine = sharded_engine
+        engine._estimator_factories.pop("hm")
+        with pytest.raises(RuntimeError, match="set_estimator_factory"):
+            engine.rebalance_attribute("hm", RebalancePlan([SplitShard(0)]))
+        engine.set_estimator_factory("hm", sampling_factory("hamming", sample_ratio=0.3))
+        report = engine.rebalance_attribute("hm", RebalancePlan([SplitShard(0)]))
+        assert report is not None
+
+    def test_rebalance_rejects_unsharded_attribute(self, binary_dataset):
+        from repro.baselines import UniformSamplingEstimator
+
+        engine = SimilarityQueryEngine()
+        engine.register_attribute(
+            "flat",
+            binary_dataset.records,
+            "hamming",
+            UniformSamplingEstimator(
+                binary_dataset.records, "hamming", sample_ratio=0.3, seed=0
+            ),
+            theta_max=binary_dataset.theta_max,
+        )
+        with pytest.raises(ValueError, match="not sharded"):
+            engine.rebalance_attribute("flat")
+        with pytest.raises(ValueError, match="not sharded"):
+            engine.set_estimator_factory("flat", sampling_factory("hamming"))
+
+    def test_updates_keep_flowing_after_rebalance(
+        self, sharded_engine, binary_dataset
+    ):
+        from repro.sharding import RebalancePlan, SplitShard
+
+        engine = sharded_engine
+        engine.rebalance_attribute("hm", RebalancePlan([SplitShard(1, parts=2)]))
+        rng = np.random.default_rng(21)
+        inserted = rng.integers(0, 2, size=(6, 32), dtype=np.uint8)
+        report = engine.apply_update("hm", UpdateOperation("insert", inserted))
+        assert isinstance(report, ShardedUpdateReport)
+        binding = engine.catalog.get("hm")
+        assert len(binding.records) == len(binary_dataset.records) + 6
+        record = inserted[0]
+        reference = LinearScanSelector(
+            np.asarray(binding.records), get_distance("hamming")
+        )
+        result = engine.execute(SimilarityPredicate("hm", record, 5.0))
+        assert result.record_ids == reference.query(record, 5.0)

@@ -240,6 +240,7 @@ class TestUpdateRouting:
     def test_untouched_shards_keep_their_index(self, binary_dataset):
         sharded = sharded_for(binary_dataset, 4, partitioner="round_robin")
         before = sharded.shards
+        versions = [shard.mutation_count for shard in before]
         # Round-robin sends one appended record to shard len(dataset) % 4.
         touched = len(sharded) % 4
         routing = sharded.route_operation(
@@ -247,11 +248,14 @@ class TestUpdateRouting:
         )
         assert routing.touched_shards == [touched]
         sharded.apply_routed(routing)
+        # Every shard object survives in place (O(Δ) deltas, no rebuilds);
+        # only the touched shard absorbed a mutation.
         for shard_id in range(4):
+            assert sharded.shard(shard_id) is before[shard_id]
             if shard_id == touched:
-                assert sharded.shard(shard_id) is not before[shard_id]
+                assert sharded.shard(shard_id).mutation_count == versions[shard_id] + 1
             else:
-                assert sharded.shard(shard_id) is before[shard_id]
+                assert sharded.shard(shard_id).mutation_count == versions[shard_id]
 
     def test_delete_routing_skips_out_of_range(self, binary_dataset):
         sharded = sharded_for(binary_dataset, 2)

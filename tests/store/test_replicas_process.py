@@ -61,7 +61,7 @@ class TestMmapReplicas:
         path, _ = snapshot
         engine = load_engine(path, mmap=True)
         selector = engine.catalog.get("vec").selector
-        packed = selector._packed
+        packed = np.asarray(selector._packed)
         assert not packed.flags.writeable  # read-only view, not a copy
 
 
